@@ -1,0 +1,52 @@
+//! **A1 — Ablation: group commit × pipelining.**
+//!
+//! The follower may only ACK a proposal once it is durable; the disk model
+//! performs one flush at a time, and every proposal buffered when a flush
+//! starts rides the next one (group commit). This ablation separates the
+//! two effects the paper's design couples:
+//!
+//! - with **window = 1** (no pipelining) every operation pays a full flush
+//!   on its critical path → throughput ≈ 1 / (2L + F);
+//! - with a **deep window**, flushes amortize over whole batches and the
+//!   flush latency nearly vanishes from the throughput equation until the
+//!   disk's flush *rate* (not latency) binds.
+//!
+//! Run: `cargo run --release -p zab-bench --bin ablation_groupcommit`
+
+use zab_bench::{fmt_f, print_header, run_saturated, SaturatedRun};
+
+fn main() {
+    println!("A1: throughput (ops/s) vs disk flush latency, with and without pipelining");
+    println!("(3 servers, 1 KiB ops; group commit active in both — the window decides\n how many proposals share each flush)\n");
+    print_header(&[
+        "flush latency (us)",
+        "window 1 (ops/s)",
+        "window 1000 (ops/s)",
+        "amortization factor",
+    ]);
+    for flush_us in [0u64, 500, 1_000, 5_000, 10_000] {
+        let mut p1 = SaturatedRun::new(3);
+        p1.max_outstanding = 1;
+        p1.clients = 2;
+        p1.total_ops = 500;
+        p1.flush_latency_us = flush_us;
+        let r1 = run_saturated(p1);
+
+        let mut pn = SaturatedRun::new(3);
+        pn.flush_latency_us = flush_us;
+        let rn = run_saturated(pn);
+
+        println!(
+            "| {flush_us} | {} | {} | {}x |",
+            fmt_f(r1.throughput_ops_per_sec),
+            fmt_f(rn.throughput_ops_per_sec),
+            fmt_f(rn.throughput_ops_per_sec / r1.throughput_ops_per_sec),
+        );
+    }
+    println!(
+        "\nshape check: window-1 throughput collapses as 1/(2L+F) when the flush\n\
+         gets slower; the deep window holds near the NIC bound until very slow\n\
+         disks — group commit + pipelining together hide durability latency,\n\
+         which is why Zab's requirement 1 matters even for disk-bound setups."
+    );
+}

@@ -1,0 +1,50 @@
+//! **F2 — Commit latency vs. offered load.**
+//!
+//! Open-loop workload at a sweep of rates relative to the measured
+//! saturation point, for 3/5/7-server ensembles. The expected shape:
+//! latency sits near the protocol floor (one round trip + one disk flush)
+//! until the knee near saturation, then grows sharply as queueing
+//! dominates.
+//!
+//! Run: `cargo run --release -p zab-bench --bin fig_latency`
+
+use zab_bench::{finish, fmt_f, print_header, run_saturated, SaturatedRun, SEC};
+use zab_simnet::{OpenLoopSpec, SimBuilder};
+
+fn main() {
+    println!("F2: commit latency vs offered load (open loop, 1 KiB ops)\n");
+    for n in [3u64, 5, 7] {
+        // Measure the saturation point first.
+        let mut sat_params = SaturatedRun::new(n);
+        sat_params.total_ops = 3_000;
+        let sat = run_saturated(sat_params).throughput_ops_per_sec;
+        println!("servers = {n}  (measured saturation ≈ {} ops/s)", fmt_f(sat));
+        print_header(&["offered load (% of sat)", "ops/s offered", "mean lat (ms)", "p99 lat (ms)"]);
+        for pct in [10u64, 25, 50, 75, 90, 100, 110] {
+            let rate = (sat * pct as f64 / 100.0).max(100.0) as u64;
+            let total_ops = (rate / 2).clamp(500, 5_000);
+            let mut sim = SimBuilder::new(n).seed(7 + pct).build();
+            sim.run_until_leader(30 * SEC).expect("leader");
+            let msg0 = sim.stats().messages_delivered;
+            let bytes0 = sim.stats().bytes_delivered;
+            sim.install_open_loop(OpenLoopSpec::at_rate(rate, 1024, total_ops));
+            // Generous deadline: overload runs drain slowly.
+            assert!(
+                sim.run_until_completed(total_ops, 3_600 * SEC),
+                "open-loop run stalled"
+            );
+            sim.check_invariants().expect("safety");
+            let r = finish(sim, msg0, bytes0);
+            println!(
+                "| {pct}% | {rate} | {} | {} |",
+                fmt_f(r.latency.mean_us as f64 / 1000.0),
+                fmt_f(r.latency.p99_us as f64 / 1000.0),
+            );
+        }
+        println!();
+    }
+    println!(
+        "shape check: flat latency floor until ~90-100% of saturation, then a sharp\n\
+         queueing knee — matching the paper's latency/throughput relationship."
+    );
+}

@@ -1,0 +1,38 @@
+//! **F3 — Throughput vs. maximum outstanding proposals.**
+//!
+//! The design requirement the paper leads with: a primary must keep
+//! *multiple transactions outstanding* for high throughput. With a window
+//! of 1 (stop-and-wait — what a naive consensus-per-operation deployment
+//! gives you), every commit pays a full round trip plus a disk flush
+//! before the next proposal starts; deeper windows pipeline those costs
+//! until the leader NIC saturates.
+//!
+//! Run: `cargo run --release -p zab-bench --bin fig_outstanding`
+
+use zab_bench::{fmt_f, print_header, run_saturated, SaturatedRun};
+
+fn main() {
+    println!("F3: throughput vs max outstanding proposals (3 servers, 1 KiB ops)\n");
+    print_header(&["outstanding", "ops/s", "mean lat (ms)", "speedup vs 1"]);
+    let mut base = None;
+    for window in [1usize, 2, 5, 10, 20, 50, 100, 500, 1000] {
+        let mut p = SaturatedRun::new(3);
+        p.max_outstanding = window;
+        p.clients = window.max(8) * 2; // keep the window full
+        p.total_ops = if window < 10 { 1_000 } else { 5_000 };
+        let r = run_saturated(p);
+        let tput = r.throughput_ops_per_sec;
+        let base = *base.get_or_insert(tput);
+        println!(
+            "| {window} | {} | {} | {}x |",
+            fmt_f(tput),
+            fmt_f(r.latency.mean_us as f64 / 1000.0),
+            fmt_f(tput / base),
+        );
+    }
+    println!(
+        "\nshape check: near-linear scaling for small windows (pipelining hides the\n\
+         RTT + flush), flattening once the leader egress link saturates — the\n\
+         paper's argument for requirement 1 (multiple outstanding transactions)."
+    );
+}

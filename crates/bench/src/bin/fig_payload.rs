@@ -1,0 +1,35 @@
+//! **F4 — Throughput vs. operation payload size.**
+//!
+//! Two regimes: small operations are per-message-overhead bound (ops/s
+//! roughly flat, bytes/s growing with size), large operations are
+//! bandwidth bound (bytes/s flat at the leader egress limit, ops/s
+//! falling as 1/size).
+//!
+//! Run: `cargo run --release -p zab-bench --bin fig_payload`
+
+use zab_bench::{fmt_f, print_header, run_saturated, SaturatedRun};
+
+fn main() {
+    println!("F4: throughput vs payload size (3 servers)\n");
+    print_header(&["payload (B)", "ops/s", "payload MB/s", "wire MB/s (all links)"]);
+    for payload in [32usize, 128, 512, 1024, 4096, 16384, 65536] {
+        let mut p = SaturatedRun::new(3);
+        p.payload = payload;
+        p.total_ops = if payload >= 16384 { 1_500 } else { 5_000 };
+        let r = run_saturated(p);
+        let tput = r.throughput_ops_per_sec;
+        // Wire bytes per virtual second over the measurement span.
+        let span_s = r.latency.count as f64 / tput;
+        println!(
+            "| {payload} | {} | {} | {} |",
+            fmt_f(tput),
+            fmt_f(tput * payload as f64 / 1e6),
+            fmt_f(r.bytes as f64 / span_s / 1e6),
+        );
+    }
+    println!(
+        "\nshape check: ops/s ~flat for small payloads (per-op costs dominate),\n\
+         then ~1/size once the leader's 125 MB/s egress saturates; payload MB/s\n\
+         approaches BW/(n-1) = 62.5 MB/s for n = 3."
+    );
+}

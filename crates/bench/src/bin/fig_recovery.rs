@@ -1,0 +1,87 @@
+//! **F5 — Follower recovery: synchronization cost vs. lag (DIFF vs SNAP).**
+//!
+//! A follower crashes, the cluster commits `lag` more operations, the
+//! follower restarts and must resynchronize before serving. Two
+//! strategies, selected by the snap threshold:
+//!
+//! - **DIFF**: ship the missed log suffix — cost proportional to the lag;
+//! - **SNAP**: ship a full application snapshot — cost proportional to
+//!   total state size, independent of lag.
+//!
+//! The crossover (DIFF cheaper for small lags, SNAP for large) is the
+//! design rationale for ZooKeeper's threshold heuristic.
+//!
+//! Run: `cargo run --release -p zab-bench --bin fig_recovery`
+
+use zab_bench::{fmt_f, print_header, SEC};
+use zab_simnet::{ClosedLoopSpec, SimBuilder};
+
+const PREFIX_OPS: u64 = 1_000;
+const PAYLOAD: usize = 1024;
+
+/// Runs one recovery measurement; returns (sync virtual ms, sync wire MB).
+fn measure(lag: u64, snap_threshold: u64) -> (f64, f64) {
+    let mut sim = SimBuilder::new(3)
+        .seed(11)
+        .snap_threshold(snap_threshold)
+        .build();
+    let leader = sim.run_until_leader(30 * SEC).expect("leader");
+    let victim = sim
+        .members()
+        .into_iter()
+        .find(|&m| m != leader)
+        .expect("a follower");
+    let total = PREFIX_OPS + lag;
+    sim.install_closed_loop(ClosedLoopSpec::saturating(64, PAYLOAD, total));
+    assert!(sim.run_until_completed(PREFIX_OPS, 600 * SEC), "prefix stalled");
+    sim.crash(victim);
+    assert!(sim.run_until_completed(total, 3_600 * SEC), "lag phase stalled");
+    // Quiesce, then restart the follower and measure pure sync cost.
+    sim.run_for(2 * SEC);
+    let bytes0 = sim.stats().bytes_delivered;
+    let t0 = sim.now_us();
+    sim.restart(victim);
+    let deadline = sim.now_us() + 3_600 * SEC;
+    while (sim.applied_log(victim).len() as u64) < total && sim.now_us() < deadline {
+        sim.run_for(SEC / 1_000);
+    }
+    assert_eq!(sim.applied_log(victim).len() as u64, total, "never caught up");
+    sim.check_invariants().expect("safety");
+    let sync_ms = (sim.now_us() - t0) as f64 / 1000.0;
+    let sync_mb = (sim.stats().bytes_delivered - bytes0) as f64 / 1e6;
+    (sync_ms, sync_mb)
+}
+
+fn main() {
+    println!(
+        "F5: follower resynchronization cost vs lag (3 servers, 1 KiB ops,\n\
+         total state = {PREFIX_OPS} + lag transactions)\n"
+    );
+    print_header(&[
+        "lag (txns)",
+        "DIFF time (ms)",
+        "DIFF wire (MB)",
+        "SNAP time (ms)",
+        "SNAP wire (MB)",
+    ]);
+    for lag in [100u64, 500, 2_000, 8_000] {
+        let (diff_ms, diff_mb) = measure(lag, u64::MAX); // never snap
+        let (snap_ms, snap_mb) = measure(lag, 1); // always snap
+        println!(
+            "| {lag} | {} | {} | {} | {} |",
+            fmt_f(diff_ms),
+            fmt_f(diff_mb),
+            fmt_f(snap_ms),
+            fmt_f(snap_mb),
+        );
+    }
+    println!(
+        "\nshape check: DIFF cost grows linearly with lag; SNAP cost is set by the\n\
+         total state (snapshot) plus the post-snapshot tail, so it's ~flat in lag\n\
+         until lag dominates state size — the DIFF/SNAP crossover behind\n\
+         ZooKeeper's snap threshold.\n\
+         note: the simulated app stores 16 B per applied txn while DIFF ships the\n\
+         full 1 KiB payloads, so SNAP's absolute advantage is amplified here;\n\
+         the linear-vs-flat *shape* is the reproduced result."
+    );
+}

@@ -1,0 +1,37 @@
+//! **F1 — Saturated broadcast throughput vs. ensemble size.**
+//!
+//! The paper's headline throughput figure: 1 KiB operations at saturating
+//! offered load, for ensembles of 3–13 servers. The leader unicasts every
+//! proposal to n−1 followers, so its egress NIC is the bottleneck and
+//! throughput falls roughly as `BW / ((n−1) · msg_size)` — the shape to
+//! reproduce (absolute ops/s depend on the modeled NIC, not the authors'
+//! testbed).
+//!
+//! Run: `cargo run --release -p zab-bench --bin fig_throughput`
+
+use zab_bench::{fmt_f, print_header, run_saturated, SaturatedRun};
+
+fn main() {
+    println!("F1: saturated broadcast throughput, 1 KiB ops, 1 Gb/s leader egress\n");
+    print_header(&[
+        "servers", "ops/s", "MB/s (payload)", "mean lat (ms)", "p99 lat (ms)", "ops/s x (n-1)",
+    ]);
+    let mut base: Option<f64> = None;
+    for n in [3, 5, 7, 9, 13] {
+        let r = run_saturated(SaturatedRun::new(n));
+        let tput = r.throughput_ops_per_sec;
+        base.get_or_insert(tput * (n - 1) as f64);
+        println!(
+            "| {n} | {} | {} | {} | {} | {} |",
+            fmt_f(tput),
+            fmt_f(tput * 1024.0 / 1e6),
+            fmt_f(r.latency.mean_us as f64 / 1000.0),
+            fmt_f(r.latency.p99_us as f64 / 1000.0),
+            fmt_f(tput * (n - 1) as f64),
+        );
+    }
+    println!(
+        "\nshape check: ops/s x (n-1) should stay ~constant (leader egress bound);\n\
+         the paper reports the same hyperbolic decline with ensemble size."
+    );
+}

@@ -1,0 +1,86 @@
+//! **T1 — Primary-order violations: naive Multi-Paxos vs. Zab.**
+//!
+//! The paper's motivating claim, quantified: run many seeded
+//! crash-and-takeover schedules and count runs whose delivered sequence
+//! violates primary order.
+//!
+//! - Multi-Paxos: violations appear as soon as the pipelining window
+//!   exceeds 1 and grow with window depth and message loss.
+//! - Zab: the same class of schedule (leader crash mid-pipeline, unflushed
+//!   writes lost) on the deterministic simulator, checked by the full PO
+//!   safety checker — zero violations, by construction.
+//!
+//! Run: `cargo run --release -p zab-bench --bin table_po_violations`
+
+use zab_baselines::harness::{run_scenario, Scenario};
+use zab_baselines::po::check_primary_order;
+use zab_bench::{print_header, SEC};
+use zab_simnet::{ClosedLoopSpec, SimBuilder};
+
+const SEEDS: u64 = 1_000;
+
+fn main() {
+    println!("T1a: % of runs violating primary order — naive Multi-Paxos");
+    println!("({SEEDS} seeds per cell; 3 acceptors; crash + takeover each run)\n");
+    let drops = [10u32, 25, 40];
+    let header: Vec<String> = std::iter::once("window \\ accept loss".to_string())
+        .chain(drops.iter().map(|d| format!("{d}%")))
+        .collect();
+    print_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for window in [1usize, 2, 4, 8, 16] {
+        let mut row = format!("| {window} |");
+        for &drop in &drops {
+            let mut violations = 0u64;
+            for seed in 0..SEEDS {
+                let o = run_scenario(&Scenario {
+                    acceptors: 3,
+                    window,
+                    ops_before_crash: 10,
+                    crash_primary: true,
+                    ops_after_takeover: 5,
+                    accept_drop_percent: drop,
+                    seed,
+                });
+                if check_primary_order(&o.delivered).is_err() {
+                    violations += 1;
+                }
+            }
+            row.push_str(&format!(" {:.1}% |", violations as f64 * 100.0 / SEEDS as f64));
+        }
+        println!("{row}");
+    }
+
+    println!("\nT1b: Zab under leader-crash schedules (full PO safety checker)\n");
+    let schedules = 25u64;
+    let mut violations = 0u64;
+    for seed in 0..schedules {
+        let mut sim = SimBuilder::new(3)
+            .seed(seed)
+            .timeouts_ms(200, 200, 25)
+            .flush_latency_us(10_000)
+            .build();
+        let leader = sim.run_until_leader(30 * SEC).expect("leader");
+        sim.install_closed_loop(ClosedLoopSpec {
+            clients: 8,
+            payload_size: 64,
+            total_ops: 300,
+            retry_delay_us: 5_000,
+            op_timeout_us: Some(2 * SEC),
+        });
+        sim.run_until_completed(100, 60 * SEC);
+        sim.crash(leader);
+        sim.run_for(3 * SEC);
+        sim.restart(leader);
+        sim.run_until_completed(300, 600 * SEC);
+        if sim.check_invariants().is_err() {
+            violations += 1;
+        }
+    }
+    print_header(&["schedules", "violations"]);
+    println!("| {schedules} | {violations} |");
+    assert_eq!(violations, 0, "Zab must never violate primary order");
+    println!(
+        "\nshape check: Multi-Paxos at window 1 is always clean (stop-and-wait);\n\
+         violations rise with window depth and loss; Zab is clean at any window."
+    );
+}

@@ -1,0 +1,101 @@
+//! Ordered delivery of committed transactions to the application.
+//!
+//! PO atomic broadcast delivers transactions in zxid order with no gaps.
+//! Both automata funnel deliveries through [`deliver_committed`], which
+//! walks the history from the per-incarnation delivery watermark up to the
+//! committed watermark and emits one [`Action::Deliver`] per transaction.
+
+use crate::events::Action;
+use crate::history::History;
+use crate::types::Zxid;
+
+/// Emits `Deliver` actions for every committed-but-undelivered transaction,
+/// advancing `delivered_to`.
+///
+/// Delivery is exactly-once per automaton incarnation: the watermark only
+/// moves forward, and a transaction is emitted only when the committed
+/// watermark has reached it.
+pub fn deliver_committed(history: &History, delivered_to: &mut Zxid, out: &mut Vec<Action>) {
+    let target = history.last_committed();
+    if *delivered_to >= target {
+        return;
+    }
+    for txn in history.txns_after(*delivered_to) {
+        if txn.zxid > target {
+            break;
+        }
+        debug_assert!(
+            txn.zxid > *delivered_to,
+            "delivery would regress: {} after {}",
+            txn.zxid,
+            delivered_to
+        );
+        out.push(Action::Deliver { txn: txn.clone() });
+        *delivered_to = txn.zxid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Epoch, Txn};
+
+    fn hist(n: u32) -> History {
+        let mut h = History::new();
+        for c in 1..=n {
+            h.append(Txn::new(Zxid::new(Epoch(1), c), vec![c as u8]));
+        }
+        h
+    }
+
+    fn delivered(out: &[Action]) -> Vec<Zxid> {
+        out.iter()
+            .map(|a| match a {
+                Action::Deliver { txn } => txn.zxid,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delivers_up_to_committed_watermark_only() {
+        let mut h = hist(5);
+        h.mark_committed(Zxid::new(Epoch(1), 3));
+        let mut watermark = Zxid::ZERO;
+        let mut out = Vec::new();
+        deliver_committed(&h, &mut watermark, &mut out);
+        assert_eq!(
+            delivered(&out),
+            (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>()
+        );
+        assert_eq!(watermark, Zxid::new(Epoch(1), 3));
+    }
+
+    #[test]
+    fn idempotent_when_nothing_new() {
+        let mut h = hist(2);
+        h.mark_committed(Zxid::new(Epoch(1), 2));
+        let mut watermark = Zxid::ZERO;
+        let mut out = Vec::new();
+        deliver_committed(&h, &mut watermark, &mut out);
+        out.clear();
+        deliver_committed(&h, &mut watermark, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resumes_from_watermark() {
+        let mut h = hist(4);
+        h.mark_committed(Zxid::new(Epoch(1), 2));
+        let mut watermark = Zxid::ZERO;
+        let mut out = Vec::new();
+        deliver_committed(&h, &mut watermark, &mut out);
+        h.mark_committed(Zxid::new(Epoch(1), 4));
+        out.clear();
+        deliver_committed(&h, &mut watermark, &mut out);
+        assert_eq!(
+            delivered(&out),
+            vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]
+        );
+    }
+}

@@ -1,0 +1,1267 @@
+//! The leader automaton (the paper's leader protocol, phases 1–3).
+//!
+//! A [`Leader`] incarnation is created when leader election (Phase 0)
+//! nominates this process. It then:
+//!
+//! 1. **Discovery** — collects `FOLLOWERINFO` from a quorum, proposes
+//!    `NEWEPOCH(e')` with `e'` greater than every accepted epoch it saw
+//!    (durably adopting `e'` itself first), and collects a quorum of
+//!    `ACKEPOCH`. If any follower reports a fresher history than the
+//!    leader's own, the leader abdicates — ZooKeeper's Fast Leader Election
+//!    elects the process with the freshest history precisely so that this
+//!    never happens in the common case.
+//! 2. **Synchronization** — for each follower, plans DIFF/TRUNC/SNAP
+//!    against its last zxid, streams the plan followed by `NEWLEADER(e')`,
+//!    and on a quorum of `ACKNEWLEADER` (counting its own durable epoch
+//!    adoption) becomes **established**: it commits and delivers the
+//!    initial history and activates synced followers with `UPTODATE`.
+//! 3. **Broadcast** — assigns zxids `(e', counter)` to client requests,
+//!    pipelines up to `max_outstanding` proposals, counts its own durable
+//!    log append as an ack, and commits when a quorum acked. Commit
+//!    messages carry a cumulative watermark.
+//!
+//! Followers that arrive late (or reconnect) at any point are taken through
+//! their own discovery/synchronization and then activated; proposals and
+//! commits generated while a follower is syncing are queued per peer and
+//! flushed after `UPTODATE`, preserving the FIFO order the protocol needs.
+
+use crate::config::ClusterConfig;
+use crate::delivery::deliver_committed;
+use crate::events::{
+    Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason,
+};
+use crate::history::{History, SyncPlan};
+use crate::messages::Message;
+use crate::types::{Epoch, ServerId, Txn, Zxid};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Externally visible leader phase, for tests and observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderStatus {
+    /// Phase 1a: waiting for a quorum of `FOLLOWERINFO`.
+    CollectingInfo,
+    /// Phase 1b: `NEWEPOCH` proposed, waiting for a quorum of `ACKEPOCH`.
+    CollectingAckEpoch,
+    /// Phase 2: syncing followers, waiting for a quorum of `ACKNEWLEADER`.
+    Establishing,
+    /// Phase 3: established primary, broadcasting.
+    Broadcasting,
+    /// The incarnation ended; a new election is required.
+    Defunct,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    CollectingInfo,
+    /// `acceptedEpoch = e'` persist in flight; `NEWEPOCH` goes out after.
+    PersistingEpoch,
+    CollectingAckEpoch,
+    Establishing,
+    Broadcasting,
+    Defunct,
+}
+
+/// Per-connected-follower state on the leader.
+#[derive(Debug)]
+enum PeerState {
+    /// `FOLLOWERINFO` received; `NEWEPOCH` sent (or queued behind the
+    /// epoch persist).
+    InfoReceived { new_epoch_sent: bool },
+    /// `ACKEPOCH` received during Phase 1b; sync is planned when a quorum
+    /// completes Phase 1.
+    EpochAcked { last_zxid: Zxid },
+    /// Needs a SNAP sync; waiting for the application snapshot.
+    AwaitingSnapshot,
+    /// Sync stream + `NEWLEADER` sent; traffic generated meanwhile is
+    /// queued. `plan_end` is the history tail covered by the sync stream.
+    Syncing { queue: Vec<Message>, plan_end: Zxid },
+    /// Fully synced and activated; `acked` is its cumulative ack watermark.
+    Active { acked: Zxid },
+}
+
+#[derive(Debug)]
+struct Peer {
+    state: PeerState,
+    last_contact_ms: u64,
+}
+
+/// What a pending durability token completes.
+#[derive(Debug)]
+enum Pending {
+    /// `acceptedEpoch = e'` persisted → send `NEWEPOCH` to peers.
+    SendNewEpoch,
+    /// `currentEpoch = e'` persisted → the leader's own `NEWLEADER` ack.
+    EstablishSelf,
+    /// A proposal appended durably → the leader's own proposal ack.
+    SelfAck(Zxid),
+}
+
+/// The leader protocol automaton. Drive it with [`Leader::handle`].
+#[derive(Debug)]
+pub struct Leader {
+    id: ServerId,
+    config: ClusterConfig,
+    accepted_epoch: Epoch,
+    current_epoch: Epoch,
+    history: History,
+    delivered_to: Zxid,
+    /// The leader's election-time vote `(currentEpoch, lastZxid)`; any
+    /// follower reporting fresher forces abdication.
+    self_vote: (Epoch, Zxid),
+    /// The epoch being established / established (`e'`). Valid from
+    /// `PersistingEpoch` onward.
+    epoch: Epoch,
+    phase: Phase,
+    peers: BTreeMap<ServerId, Peer>,
+    /// Phase-1a votes (`FOLLOWERINFO` senders, incl. self).
+    info_votes: BTreeMap<ServerId, Epoch>,
+    /// Phase-1b acks (`ACKEPOCH` senders, incl. self).
+    ack_epoch: BTreeSet<ServerId>,
+    /// Phase-2 acks (`ACKNEWLEADER` senders; self tracked separately).
+    ack_ld: BTreeSet<ServerId>,
+    /// True once our own `currentEpoch = e'` write is durable.
+    self_established: bool,
+    /// Zxid counter for the established epoch.
+    counter: u32,
+    /// Own durable log watermark (our implicit ack).
+    self_acked: Zxid,
+    /// Client requests not yet proposed (back-pressure beyond the window).
+    pending_requests: VecDeque<Bytes>,
+    /// Proposals in flight: proposed but not yet committed.
+    outstanding: usize,
+    /// True while a `TakeSnapshot` request is with the application.
+    snapshot_pending: bool,
+    now_ms: u64,
+    started_ms: u64,
+    last_ping_ms: u64,
+    next_token: u64,
+    pending: BTreeMap<PersistToken, Pending>,
+}
+
+impl Leader {
+    /// Creates a leader incarnation from recovered durable state and
+    /// returns it with its initial actions. `applied_to` is the zxid the
+    /// driver's application has already applied up to; delivery resumes
+    /// after it.
+    ///
+    /// In a single-server ensemble the returned actions already complete
+    /// Phase 1a (the leader's own info forms a quorum).
+    pub fn new(
+        id: ServerId,
+        config: ClusterConfig,
+        state: PersistentState,
+        applied_to: Zxid,
+        now_ms: u64,
+    ) -> (Leader, Vec<Action>) {
+        let delivered_to = applied_to.max(state.history.base());
+        let self_vote = (state.current_epoch, state.history.last_zxid());
+        let self_acked = state.history.last_zxid();
+        let mut l = Leader {
+            id,
+            config,
+            accepted_epoch: state.accepted_epoch,
+            current_epoch: state.current_epoch,
+            history: state.history,
+            delivered_to,
+            self_vote,
+            epoch: Epoch::ZERO,
+            phase: Phase::CollectingInfo,
+            peers: BTreeMap::new(),
+            info_votes: BTreeMap::new(),
+            ack_epoch: BTreeSet::new(),
+            ack_ld: BTreeSet::new(),
+            self_established: false,
+            counter: 0,
+            self_acked,
+            pending_requests: VecDeque::new(),
+            outstanding: 0,
+            snapshot_pending: false,
+            now_ms,
+            started_ms: now_ms,
+            last_ping_ms: now_ms,
+            next_token: 0,
+            pending: BTreeMap::new(),
+        };
+        let mut out = Vec::new();
+        l.info_votes.insert(id, l.accepted_epoch);
+        l.maybe_finish_info_collection(&mut out);
+        (l, out)
+    }
+
+    /// This leader's server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The epoch this leader is establishing or has established.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Current phase, for observability.
+    pub fn status(&self) -> LeaderStatus {
+        match self.phase {
+            Phase::CollectingInfo | Phase::PersistingEpoch => LeaderStatus::CollectingInfo,
+            Phase::CollectingAckEpoch => LeaderStatus::CollectingAckEpoch,
+            Phase::Establishing => LeaderStatus::Establishing,
+            Phase::Broadcasting => LeaderStatus::Broadcasting,
+            Phase::Defunct => LeaderStatus::Defunct,
+        }
+    }
+
+    /// True once established (phase 3).
+    pub fn is_established(&self) -> bool {
+        self.phase == Phase::Broadcasting
+    }
+
+    /// Tail of the accepted history.
+    pub fn last_zxid(&self) -> Zxid {
+        self.history.last_zxid()
+    }
+
+    /// Highest committed zxid.
+    pub fn last_committed(&self) -> Zxid {
+        self.history.last_committed()
+    }
+
+    /// Number of proposals in flight (proposed, not committed).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Number of client requests queued behind the outstanding window.
+    pub fn queued_requests(&self) -> usize {
+        self.pending_requests.len()
+    }
+
+    /// Followers currently active (synced and serving).
+    pub fn active_followers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.peers.iter().filter_map(|(&id, p)| match p.state {
+            PeerState::Active { .. } => Some(id),
+            _ => None,
+        })
+    }
+
+    /// Snapshot of the durable protocol state (what a driver would write).
+    pub fn persistent_state(&self) -> PersistentState {
+        PersistentState {
+            accepted_epoch: self.accepted_epoch,
+            current_epoch: self.current_epoch,
+            history: self.history.clone(),
+        }
+    }
+
+    fn token(&mut self, purpose: Pending) -> PersistToken {
+        self.next_token += 1;
+        let t = PersistToken(self.next_token);
+        self.pending.insert(t, purpose);
+        t
+    }
+
+    fn abdicate(&mut self, reason: &'static str, out: &mut Vec<Action>) {
+        self.phase = Phase::Defunct;
+        self.pending.clear();
+        out.push(Action::GoToElection { reason });
+    }
+
+    /// Feeds one input to the automaton, returning the actions the driver
+    /// must perform. After `GoToElection` is emitted, all further inputs
+    /// return no actions.
+    pub fn handle(&mut self, input: Input) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.phase == Phase::Defunct {
+            return out;
+        }
+        match input {
+            Input::Tick { now_ms } => self.on_tick(now_ms, &mut out),
+            Input::Message { from, msg } => self.on_message(from, msg, &mut out),
+            Input::Persisted { token } => self.on_persisted(token, &mut out),
+            Input::ClientRequest { data } => self.on_client_request(data, &mut out),
+            Input::SnapshotReady { snapshot, zxid } => {
+                self.on_snapshot_ready(snapshot, zxid, &mut out)
+            }
+            Input::PeerDisconnected { peer } => {
+                self.peers.remove(&peer);
+                self.ack_ld.remove(&peer);
+            }
+            Input::Compact { through } => {
+                let point = through.min(self.delivered_to);
+                if point > self.history.base() {
+                    self.history.purge_through(point);
+                }
+            }
+        }
+        out
+    }
+
+    fn on_tick(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        self.now_ms = now_ms;
+        if self.phase != Phase::Broadcasting
+            && now_ms.saturating_sub(self.started_ms) > self.config.establish_timeout_ms
+        {
+            self.abdicate("failed to establish in time", out);
+            return;
+        }
+        if now_ms.saturating_sub(self.last_ping_ms) >= self.config.ping_interval_ms {
+            self.last_ping_ms = now_ms;
+            let last_committed = self.history.last_committed();
+            for (&id, _) in &self.peers {
+                out.push(Action::Send { to: id, msg: Message::Ping { last_committed } });
+            }
+        }
+        if self.phase == Phase::Broadcasting {
+            let mut alive: BTreeSet<ServerId> = self
+                .peers
+                .iter()
+                .filter(|(_, p)| {
+                    now_ms.saturating_sub(p.last_contact_ms) <= self.config.leader_timeout_ms
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            alive.insert(self.id);
+            if !self.config.is_quorum(&alive) {
+                self.abdicate("lost contact with a quorum", out);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ServerId, msg: Message, out: &mut Vec<Action>) {
+        if from == self.id || !self.config.quorum.members().contains(&from) {
+            return;
+        }
+        if let Some(p) = self.peers.get_mut(&from) {
+            p.last_contact_ms = self.now_ms;
+        }
+        match msg {
+            Message::FollowerInfo { accepted_epoch, last_zxid } => {
+                self.on_follower_info(from, accepted_epoch, last_zxid, out)
+            }
+            Message::AckEpoch { current_epoch, last_zxid } => {
+                self.on_ack_epoch(from, current_epoch, last_zxid, out)
+            }
+            Message::AckNewLeader { epoch, last_zxid } => {
+                self.on_ack_new_leader(from, epoch, last_zxid, out)
+            }
+            Message::Ack { zxid } => self.on_ack(from, zxid, out),
+            Message::Pong { .. } => {
+                // Contact timestamp already refreshed above.
+            }
+            // Messages a leader never receives from correct followers.
+            _ => {
+                // Drop silently: a reconnecting follower's stale traffic
+                // may race its FOLLOWERINFO.
+            }
+        }
+    }
+
+    fn on_follower_info(
+        &mut self,
+        from: ServerId,
+        accepted_epoch: Epoch,
+        last_zxid: Zxid,
+        out: &mut Vec<Action>,
+    ) {
+        // A (re)joining follower starts from a clean slate.
+        self.ack_ld.remove(&from);
+        match self.phase {
+            Phase::CollectingInfo => {
+                self.info_votes.insert(from, accepted_epoch);
+                self.peers.insert(
+                    from,
+                    Peer {
+                        state: PeerState::InfoReceived { new_epoch_sent: false },
+                        last_contact_ms: self.now_ms,
+                    },
+                );
+                self.maybe_finish_info_collection(out);
+            }
+            Phase::PersistingEpoch => {
+                if accepted_epoch >= self.epoch {
+                    self.abdicate("follower accepted an epoch at or above ours", out);
+                    return;
+                }
+                self.peers.insert(
+                    from,
+                    Peer {
+                        state: PeerState::InfoReceived { new_epoch_sent: false },
+                        last_contact_ms: self.now_ms,
+                    },
+                );
+            }
+            Phase::CollectingAckEpoch | Phase::Establishing => {
+                if accepted_epoch >= self.epoch {
+                    self.abdicate("follower accepted an epoch at or above ours", out);
+                    return;
+                }
+                self.peers.insert(
+                    from,
+                    Peer {
+                        state: PeerState::InfoReceived { new_epoch_sent: true },
+                        last_contact_ms: self.now_ms,
+                    },
+                );
+                out.push(Action::Send { to: from, msg: Message::NewEpoch { epoch: self.epoch } });
+            }
+            Phase::Broadcasting => {
+                if accepted_epoch > self.epoch {
+                    self.abdicate("follower accepted a higher epoch", out);
+                } else if accepted_epoch == self.epoch {
+                    // Fast path: the follower already accepted our epoch
+                    // (we are its unique established leader); skip straight
+                    // to synchronization using the zxid it announced.
+                    self.peers.insert(
+                        from,
+                        Peer {
+                            state: PeerState::InfoReceived { new_epoch_sent: true },
+                            last_contact_ms: self.now_ms,
+                        },
+                    );
+                    self.start_sync(from, last_zxid, out);
+                } else {
+                    self.peers.insert(
+                        from,
+                        Peer {
+                            state: PeerState::InfoReceived { new_epoch_sent: true },
+                            last_contact_ms: self.now_ms,
+                        },
+                    );
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::NewEpoch { epoch: self.epoch },
+                    });
+                }
+            }
+            Phase::Defunct => {}
+        }
+    }
+
+    /// Phase 1a completion check: with a quorum of infos, choose `e'` and
+    /// durably adopt it before proposing.
+    fn maybe_finish_info_collection(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::CollectingInfo {
+            return;
+        }
+        let voters: BTreeSet<ServerId> = self.info_votes.keys().copied().collect();
+        if !self.config.is_quorum(&voters) {
+            return;
+        }
+        let max_accepted = self.info_votes.values().copied().max().unwrap_or(Epoch::ZERO);
+        self.epoch = max_accepted.next();
+        self.accepted_epoch = self.epoch;
+        self.phase = Phase::PersistingEpoch;
+        let token = self.token(Pending::SendNewEpoch);
+        out.push(Action::Persist {
+            token,
+            req: PersistRequest::AcceptedEpoch(self.epoch),
+        });
+    }
+
+    fn on_ack_epoch(
+        &mut self,
+        from: ServerId,
+        current_epoch: Epoch,
+        last_zxid: Zxid,
+        out: &mut Vec<Action>,
+    ) {
+        match self.phase {
+            Phase::CollectingAckEpoch | Phase::Establishing | Phase::Broadcasting => {}
+            _ => return, // too early; stale traffic
+        }
+        let expected = matches!(
+            self.peers.get(&from).map(|p| &p.state),
+            Some(PeerState::InfoReceived { new_epoch_sent: true })
+        );
+        if !expected {
+            return;
+        }
+        // Before establishment, the leader must own the freshest history
+        // (FLE guarantees it); otherwise it steps down and lets the fresher
+        // process win — adopting history mid-establishment would be the
+        // paper's "leader adopts Ihistory" step, which ZooKeeper avoids by
+        // electing the freshest process in the first place. Once
+        // established, a follower with a longer-but-stale history is simply
+        // truncated: our establishment quorum proves its surplus
+        // transactions never committed.
+        if self.phase != Phase::Broadcasting && (current_epoch, last_zxid) > self.self_vote {
+            self.abdicate("a follower has a fresher history", out);
+            return;
+        }
+        if current_epoch > self.epoch {
+            self.abdicate("a follower adopted a higher epoch", out);
+            return;
+        }
+        self.ack_epoch.insert(from);
+        if self.phase == Phase::CollectingAckEpoch {
+            // Park the peer with its zxid; syncs are planned when the
+            // epoch-ack quorum completes.
+            self.peers.get_mut(&from).expect("peer exists").state =
+                PeerState::EpochAcked { last_zxid };
+            self.maybe_begin_establishment(out);
+            return;
+        }
+        // Established or establishing: sync this follower right away.
+        self.start_sync(from, last_zxid, out);
+    }
+
+    /// Phase 1b completion check: with a quorum of epoch acks (self
+    /// included — our info and epoch adoption count), begin Phase 2.
+    fn maybe_begin_establishment(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::CollectingAckEpoch {
+            return;
+        }
+        let mut ackers = self.ack_epoch.clone();
+        ackers.insert(self.id);
+        if !self.config.is_quorum(&ackers) {
+            return;
+        }
+        self.phase = Phase::Establishing;
+        self.current_epoch = self.epoch;
+        let token = self.token(Pending::EstablishSelf);
+        out.push(Action::Persist {
+            token,
+            req: PersistRequest::CurrentEpoch(self.epoch),
+        });
+        // Plan synchronization for every follower that acked the epoch.
+        let parked: Vec<(ServerId, Zxid)> = self
+            .peers
+            .iter()
+            .filter_map(|(&id, p)| match p.state {
+                PeerState::EpochAcked { last_zxid } => Some((id, last_zxid)),
+                _ => None,
+            })
+            .collect();
+        for (id, lz) in parked {
+            self.start_sync(id, lz, out);
+        }
+    }
+
+    /// Phase 2 per-follower: plan DIFF/TRUNC/SNAP and stream it, ending
+    /// with `NEWLEADER`.
+    fn start_sync(&mut self, from: ServerId, follower_last: Zxid, out: &mut Vec<Action>) {
+        let plan = self.history.plan_sync(follower_last, self.config.snap_threshold);
+        match plan {
+            SyncPlan::Snap => {
+                self.peers.get_mut(&from).expect("peer exists").state =
+                    PeerState::AwaitingSnapshot;
+                if !self.snapshot_pending {
+                    self.snapshot_pending = true;
+                    out.push(Action::TakeSnapshot);
+                }
+            }
+            SyncPlan::Diff { txns } => {
+                out.push(Action::Send { to: from, msg: Message::SyncDiff { txns } });
+                self.finish_sync_stream(from, out);
+            }
+            SyncPlan::Trunc { truncate_to, txns } => {
+                out.push(Action::Send {
+                    to: from,
+                    msg: Message::SyncTrunc { truncate_to, txns },
+                });
+                self.finish_sync_stream(from, out);
+            }
+        }
+    }
+
+    fn finish_sync_stream(&mut self, from: ServerId, out: &mut Vec<Action>) {
+        out.push(Action::Send { to: from, msg: Message::NewLeader { epoch: self.epoch } });
+        self.peers.get_mut(&from).expect("peer exists").state = PeerState::Syncing {
+            queue: Vec::new(),
+            plan_end: self.history.last_zxid(),
+        };
+    }
+
+    fn on_snapshot_ready(&mut self, snapshot: Bytes, zxid: Zxid, out: &mut Vec<Action>) {
+        self.snapshot_pending = false;
+        let waiting: Vec<ServerId> = self
+            .peers
+            .iter()
+            .filter_map(|(&id, p)| match p.state {
+                PeerState::AwaitingSnapshot => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in waiting {
+            out.push(Action::Send {
+                to: id,
+                msg: Message::SyncSnap {
+                    snapshot: snapshot.clone(),
+                    snapshot_zxid: zxid,
+                    txns: self.history.txns_after(zxid).to_vec(),
+                },
+            });
+            self.finish_sync_stream(id, out);
+        }
+    }
+
+    fn on_ack_new_leader(
+        &mut self,
+        from: ServerId,
+        epoch: Epoch,
+        last_zxid: Zxid,
+        out: &mut Vec<Action>,
+    ) {
+        if epoch != self.epoch {
+            return;
+        }
+        let syncing = matches!(
+            self.peers.get(&from).map(|p| &p.state),
+            Some(PeerState::Syncing { .. })
+        );
+        if !syncing {
+            return;
+        }
+        self.ack_ld.insert(from);
+        match self.phase {
+            Phase::Establishing => {
+                self.maybe_establish(out);
+                // If we just established, `maybe_establish` activated all
+                // acked peers, including this one.
+            }
+            Phase::Broadcasting => self.activate_peer(from, last_zxid, out),
+            _ => {}
+        }
+    }
+
+    /// Phase 2 completion check: quorum of `ACKNEWLEADER` (self counts
+    /// once its `currentEpoch` write is durable).
+    fn maybe_establish(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::Establishing || !self.self_established {
+            return;
+        }
+        let mut ackers = self.ack_ld.clone();
+        ackers.insert(self.id);
+        if !self.config.is_quorum(&ackers) {
+            return;
+        }
+        self.phase = Phase::Broadcasting;
+        // COMMIT-LD: the initial history is committed and delivered.
+        let initial_end = self.history.last_zxid();
+        if initial_end > self.history.last_committed() {
+            self.history.mark_committed(initial_end);
+        }
+        deliver_committed(&self.history, &mut self.delivered_to, out);
+        out.push(Action::Activated { epoch: self.epoch });
+        let acked: Vec<ServerId> = self
+            .peers
+            .iter()
+            .filter(|(id, p)| {
+                matches!(p.state, PeerState::Syncing { .. }) && self.ack_ld.contains(id)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in acked {
+            // The follower's sync covered the initial history; use its
+            // plan end as the ack watermark baseline.
+            let plan_end = match &self.peers[&id].state {
+                PeerState::Syncing { plan_end, .. } => *plan_end,
+                _ => unreachable!(),
+            };
+            self.activate_peer(id, plan_end, out);
+        }
+    }
+
+    /// Sends `UPTODATE`, flushes the queued traffic, and starts counting
+    /// the peer's acks.
+    fn activate_peer(&mut self, from: ServerId, acked: Zxid, out: &mut Vec<Action>) {
+        let peer = self.peers.get_mut(&from).expect("peer exists");
+        let (queue, plan_end) = match std::mem::replace(
+            &mut peer.state,
+            PeerState::Active { acked },
+        ) {
+            PeerState::Syncing { queue, plan_end } => (queue, plan_end),
+            other => {
+                peer.state = other;
+                return;
+            }
+        };
+        let commit_to = self.history.last_committed().min(plan_end);
+        out.push(Action::Send { to: from, msg: Message::UpToDate { commit_to } });
+        for msg in queue {
+            out.push(Action::Send { to: from, msg });
+        }
+        self.try_commit(out);
+    }
+
+    fn on_client_request(&mut self, data: Bytes, out: &mut Vec<Action>) {
+        if self.phase != Phase::Broadcasting {
+            out.push(Action::ClientRequestRejected {
+                data,
+                reason: RejectReason::NotPrimary,
+            });
+            return;
+        }
+        if self.pending_requests.len() >= self.config.request_queue_limit {
+            out.push(Action::ClientRequestRejected {
+                data,
+                reason: RejectReason::Overloaded,
+            });
+            return;
+        }
+        self.pending_requests.push_back(data);
+        self.pump_proposals(out);
+    }
+
+    /// Proposes queued requests while the outstanding window allows.
+    fn pump_proposals(&mut self, out: &mut Vec<Action>) {
+        while self.outstanding < self.config.max_outstanding {
+            let Some(data) = self.pending_requests.pop_front() else { break };
+            self.counter = self.counter.checked_add(1).expect("zxid counter exhausted");
+            let zxid = Zxid::new(self.epoch, self.counter);
+            let txn = Txn { zxid, data };
+            self.history.append(txn.clone());
+            self.outstanding += 1;
+            let token = self.token(Pending::SelfAck(zxid));
+            out.push(Action::Persist {
+                token,
+                req: PersistRequest::AppendTxns(vec![txn.clone()]),
+            });
+            self.broadcast(Message::Propose { txn }, out);
+        }
+    }
+
+    /// Sends to active peers; queues for syncing peers (FIFO per peer).
+    fn broadcast(&mut self, msg: Message, out: &mut Vec<Action>) {
+        for (&id, peer) in self.peers.iter_mut() {
+            match &mut peer.state {
+                PeerState::Active { .. } => {
+                    out.push(Action::Send { to: id, msg: msg.clone() });
+                }
+                PeerState::Syncing { queue, .. } => queue.push(msg.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_ack(&mut self, from: ServerId, zxid: Zxid, out: &mut Vec<Action>) {
+        if zxid > self.history.last_zxid() {
+            self.abdicate("ack beyond proposed history", out);
+            return;
+        }
+        let Some(peer) = self.peers.get_mut(&from) else { return };
+        if let PeerState::Active { acked } = &mut peer.state {
+            if zxid > *acked {
+                *acked = zxid;
+                self.try_commit(out);
+            }
+        }
+    }
+
+    fn on_persisted(&mut self, token: PersistToken, out: &mut Vec<Action>) {
+        let done: Vec<PersistToken> = self.pending.range(..=token).map(|(&t, _)| t).collect();
+        let mut best_self_ack: Option<Zxid> = None;
+        for t in done {
+            match self.pending.remove(&t).expect("token present") {
+                Pending::SendNewEpoch => {
+                    if self.phase != Phase::PersistingEpoch {
+                        continue;
+                    }
+                    self.phase = Phase::CollectingAckEpoch;
+                    let targets: Vec<ServerId> = self
+                        .peers
+                        .iter_mut()
+                        .filter_map(|(&id, p)| match &mut p.state {
+                            PeerState::InfoReceived { new_epoch_sent } if !*new_epoch_sent => {
+                                *new_epoch_sent = true;
+                                Some(id)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    for id in targets {
+                        out.push(Action::Send {
+                            to: id,
+                            msg: Message::NewEpoch { epoch: self.epoch },
+                        });
+                    }
+                    // Our own epoch ack; a single-server ensemble can now
+                    // proceed all the way to establishment.
+                    self.maybe_begin_establishment(out);
+                }
+                Pending::EstablishSelf => {
+                    self.self_established = true;
+                    self.maybe_establish(out);
+                }
+                Pending::SelfAck(zxid) => {
+                    best_self_ack = Some(best_self_ack.map_or(zxid, |b| b.max(zxid)));
+                }
+            }
+        }
+        if let Some(zxid) = best_self_ack {
+            if zxid > self.self_acked {
+                self.self_acked = zxid;
+                self.try_commit(out);
+            }
+        }
+    }
+
+    /// Advances the commit watermark to the highest zxid acked by a quorum
+    /// (counting our own durable log as an ack).
+    fn try_commit(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::Broadcasting {
+            return;
+        }
+        let last_committed = self.history.last_committed();
+        let mut watermarks: Vec<(ServerId, Zxid)> = vec![(self.id, self.self_acked)];
+        for (&id, p) in &self.peers {
+            if let PeerState::Active { acked } = p.state {
+                watermarks.push((id, acked));
+            }
+        }
+        let mut candidates: Vec<Zxid> = watermarks
+            .iter()
+            .map(|&(_, z)| z)
+            .filter(|&z| z > last_committed)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let committed = candidates.into_iter().rev().find(|&z| {
+            let supporters: BTreeSet<ServerId> = watermarks
+                .iter()
+                .filter(|&&(_, w)| w >= z)
+                .map(|&(id, _)| id)
+                .collect();
+            self.config.is_quorum(&supporters)
+        });
+        let Some(z) = committed else { return };
+        // Account outstanding completions and emit per-txn commit events.
+        for txn in self.history.txns_after(last_committed) {
+            if txn.zxid > z {
+                break;
+            }
+            if txn.zxid.epoch() == self.epoch {
+                self.outstanding -= 1;
+            }
+            out.push(Action::Committed { zxid: txn.zxid });
+        }
+        self.history.mark_committed(z);
+        self.broadcast(Message::Commit { zxid: z }, out);
+        deliver_committed(&self.history, &mut self.delivered_to, out);
+        self.pump_proposals(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Input;
+
+    const ME: ServerId = ServerId(1);
+    const F2: ServerId = ServerId(2);
+    const F3: ServerId = ServerId(3);
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::majority([ServerId(1), ServerId(2), ServerId(3)])
+    }
+
+    fn msg(from: ServerId, m: Message) -> Input {
+        Input::Message { from, msg: m }
+    }
+
+    /// Completes every persist in `actions` immediately, returning the
+    /// follow-up actions.
+    fn complete_persists(l: &mut Leader, actions: &[Action]) -> Vec<Action> {
+        let mut out = Vec::new();
+        for a in actions {
+            if let Action::Persist { token, .. } = a {
+                out.extend(l.handle(Input::Persisted { token: *token }));
+            }
+        }
+        out
+    }
+
+    fn sends_to(actions: &[Action], to: ServerId) -> Vec<&Message> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to: t, msg } if *t == to => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drives a fresh 3-ensemble leader to Broadcasting with followers 2
+    /// and 3 attached (instant persistence everywhere).
+    fn established_leader() -> Leader {
+        let (mut l, init) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        assert!(init.is_empty(), "needs a quorum of infos first");
+        // Follower infos arrive.
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        // Quorum of infos (self + f2): epoch chosen, persist requested.
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Persist { req: PersistRequest::AcceptedEpoch(e), .. } if *e == Epoch(1)
+        )));
+        let a = complete_persists(&mut l, &a);
+        // NEWEPOCH went to f2.
+        assert!(matches!(sends_to(&a, F2)[0], Message::NewEpoch { epoch: Epoch(1) }));
+        assert_eq!(l.status(), LeaderStatus::CollectingAckEpoch);
+        // f3's info arrives late; it gets NEWEPOCH directly.
+        let a3 = l.handle(msg(F3, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        assert!(matches!(sends_to(&a3, F3)[0], Message::NewEpoch { epoch: Epoch(1) }));
+        // Epoch acks from both: establishment begins on quorum.
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        assert_eq!(l.status(), LeaderStatus::Establishing);
+        // Sync stream: empty diff + NEWLEADER to f2.
+        let f2_msgs = sends_to(&a, F2);
+        assert!(matches!(f2_msgs[0], Message::SyncDiff { .. }));
+        assert!(matches!(f2_msgs[1], Message::NewLeader { epoch: Epoch(1) }));
+        let a2 = complete_persists(&mut l, &a); // currentEpoch persisted
+        assert!(a2.is_empty(), "self ack alone is not a quorum");
+        let a = l.handle(msg(F3, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        assert!(matches!(sends_to(&a, F3)[1], Message::NewLeader { .. }));
+        // f2 acks NEWLEADER: with self, that is a quorum → established.
+        let a = l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(a.iter().any(|x| matches!(x, Action::Activated { epoch: Epoch(1) })));
+        assert!(matches!(sends_to(&a, F2)[0], Message::UpToDate { .. }));
+        assert!(l.is_established());
+        // f3 finishes too.
+        let a = l.handle(msg(F3, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(matches!(sends_to(&a, F3)[0], Message::UpToDate { .. }));
+        assert_eq!(l.active_followers().count(), 2);
+        l
+    }
+
+    #[test]
+    fn establishment_walkthrough() {
+        let l = established_leader();
+        assert_eq!(l.epoch(), Epoch(1));
+        assert_eq!(l.status(), LeaderStatus::Broadcasting);
+    }
+
+    #[test]
+    fn proposal_lifecycle_self_ack_plus_one_follower_commits() {
+        let mut l = established_leader();
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+        let zxid = Zxid::new(Epoch(1), 1);
+        // Propose fans out to both followers; persist requested.
+        assert!(matches!(sends_to(&a, F2)[0], Message::Propose { txn } if txn.zxid == zxid));
+        assert!(matches!(sends_to(&a, F3)[0], Message::Propose { txn } if txn.zxid == zxid));
+        assert_eq!(l.outstanding(), 1);
+        // Self persist alone: no commit (1 of 3).
+        let a2 = complete_persists(&mut l, &a);
+        assert!(!a2.iter().any(|x| matches!(x, Action::Committed { .. })));
+        // One follower ack → quorum → commit + deliver + COMMIT broadcast.
+        let a3 = l.handle(msg(F2, Message::Ack { zxid }));
+        assert!(a3.iter().any(|x| matches!(x, Action::Committed { zxid: z } if *z == zxid)));
+        assert!(a3.iter().any(|x| matches!(x, Action::Deliver { txn } if txn.zxid == zxid)));
+        assert!(matches!(sends_to(&a3, F2)[0], Message::Commit { zxid: z } if *z == zxid));
+        assert_eq!(l.outstanding(), 0);
+        assert_eq!(l.last_committed(), zxid);
+    }
+
+    #[test]
+    fn follower_acks_without_leader_persist_do_not_commit() {
+        // Commit needs a quorum that includes durable copies; with f2 and
+        // f3 acked but the leader's own write still in flight, 2 of 3 have
+        // it — that IS a quorum, so it commits. Verify the self-ack is not
+        // required when followers alone form a quorum.
+        let mut l = established_leader();
+        let _a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+        let zxid = Zxid::new(Epoch(1), 1);
+        let a2 = l.handle(msg(F2, Message::Ack { zxid }));
+        assert!(!a2.iter().any(|x| matches!(x, Action::Committed { .. })));
+        let a3 = l.handle(msg(F3, Message::Ack { zxid }));
+        assert!(a3.iter().any(|x| matches!(x, Action::Committed { .. })));
+    }
+
+    #[test]
+    fn window_throttles_and_queue_drains_on_commit() {
+        let mut config = cfg();
+        config.max_outstanding = 1;
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
+        // Bring up one follower for a quorum.
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        let a = complete_persists(&mut l, &a);
+        let _ = a;
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(l.is_established());
+
+        let a1 = l.handle(Input::ClientRequest { data: Bytes::from_static(b"1") });
+        let _a2 = l.handle(Input::ClientRequest { data: Bytes::from_static(b"2") });
+        assert_eq!(l.outstanding(), 1);
+        assert_eq!(l.queued_requests(), 1);
+        complete_persists(&mut l, &a1);
+        let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        // Commit of 1 pumps proposal 2.
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Send { msg: Message::Propose { txn }, .. } if txn.zxid == Zxid::new(Epoch(1), 2)
+        )));
+        assert_eq!(l.outstanding(), 1);
+        assert_eq!(l.queued_requests(), 0);
+    }
+
+    #[test]
+    fn request_rejected_before_establishment() {
+        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+        assert!(matches!(
+            a[0],
+            Action::ClientRequestRejected { reason: RejectReason::NotPrimary, .. }
+        ));
+    }
+
+    #[test]
+    fn request_queue_limit_rejects_overload() {
+        let mut config = cfg();
+        config.max_outstanding = 1;
+        config.request_queue_limit = 2;
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        for _ in 0..3 {
+            l.handle(Input::ClientRequest { data: Bytes::from_static(b"y") });
+        }
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"z") });
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::ClientRequestRejected { reason: RejectReason::Overloaded, .. }
+        )));
+    }
+
+    #[test]
+    fn fresher_follower_in_discovery_forces_abdication() {
+        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::new(Epoch(1), 5),
+        }));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch(1),
+            last_zxid: Zxid::new(Epoch(1), 5),
+        }));
+        assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
+        assert_eq!(l.status(), LeaderStatus::Defunct);
+    }
+
+    #[test]
+    fn higher_accepted_epoch_in_info_forces_abdication() {
+        let mut l = established_leader();
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch(9),
+            last_zxid: Zxid::ZERO,
+        }));
+        assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
+    }
+
+    #[test]
+    fn late_joiner_during_broadcast_gets_queued_traffic_after_sync() {
+        // Build a 3-ensemble established with only f2; then f3 joins while
+        // a proposal is being made mid-sync.
+        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(l.is_established());
+        // Commit one txn.
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"pre") });
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        // f3 joins (fresh): fast path is not taken (accepted 0 < epoch 1).
+        let a = l.handle(msg(F3, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        assert!(matches!(sends_to(&a, F3)[0], Message::NewEpoch { .. }));
+        let a = l.handle(msg(F3, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        // Sync carries the committed txn.
+        match sends_to(&a, F3)[0] {
+            Message::SyncDiff { txns } => assert_eq!(txns.len(), 1),
+            m => panic!("expected DIFF, got {}", m.kind()),
+        }
+        // While f3 syncs, another proposal happens: f3 must NOT see it yet.
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"mid") });
+        assert!(sends_to(&a, F3).is_empty(), "proposal leaked to syncing peer");
+        assert_eq!(sends_to(&a, F2).len(), 1);
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 2) }));
+        // f3 finishes sync: UPTODATE, then the queued PROPOSE and COMMIT.
+        let a = l.handle(msg(F3, Message::AckNewLeader {
+            epoch: Epoch(1),
+            last_zxid: Zxid::new(Epoch(1), 1),
+        }));
+        let f3_msgs = sends_to(&a, F3);
+        assert!(matches!(f3_msgs[0], Message::UpToDate { .. }));
+        assert!(f3_msgs.iter().any(|m| matches!(
+            m,
+            Message::Propose { txn } if txn.zxid == Zxid::new(Epoch(1), 2)
+        )));
+        assert!(f3_msgs.iter().any(|m| matches!(
+            m,
+            Message::Commit { zxid } if *zxid == Zxid::new(Epoch(1), 2)
+        )));
+    }
+
+    #[test]
+    fn peer_disconnect_removes_it_from_commit_accounting() {
+        let mut l = established_leader();
+        l.handle(Input::PeerDisconnected { peer: F2 });
+        assert_eq!(l.active_followers().count(), 1);
+        // Proposals still commit via self + f3.
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F3, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        assert!(a.iter().any(|x| matches!(x, Action::Committed { .. })));
+    }
+
+    #[test]
+    fn losing_quorum_contact_abdicates_on_tick() {
+        let mut l = established_leader();
+        l.handle(Input::PeerDisconnected { peer: F2 });
+        l.handle(Input::PeerDisconnected { peer: F3 });
+        let a = l.handle(Input::Tick { now_ms: 10_000 });
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::GoToElection { reason: "lost contact with a quorum" }
+        )));
+    }
+
+    #[test]
+    fn pings_flow_to_peers_on_interval() {
+        let mut l = established_leader();
+        let a = l.handle(Input::Tick { now_ms: 60 });
+        let pings = a
+            .iter()
+            .filter(|x| matches!(x, Action::Send { msg: Message::Ping { .. }, .. }))
+            .count();
+        assert_eq!(pings, 2);
+    }
+
+    #[test]
+    fn establish_timeout_abandons_stuck_establishment() {
+        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(Input::Tick { now_ms: 5_000 });
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::GoToElection { reason: "failed to establish in time" }
+        )));
+    }
+
+    #[test]
+    fn ack_beyond_history_is_fatal() {
+        let mut l = established_leader();
+        let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 99) }));
+        assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
+    }
+
+    #[test]
+    fn snap_sync_requested_for_deep_lag() {
+        let mut config = cfg();
+        config.snap_threshold = 1;
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(F2, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F2, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        // Commit two txns so the gap to a fresh joiner exceeds threshold 1.
+        for _ in 0..2 {
+            let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+            complete_persists(&mut l, &a);
+        }
+        l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 2) }));
+        // Fresh f3 joins: plan must be SNAP → TakeSnapshot requested.
+        let _ = l.handle(msg(F3, Message::FollowerInfo {
+            accepted_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        let a = l.handle(msg(F3, Message::AckEpoch {
+            current_epoch: Epoch::ZERO,
+            last_zxid: Zxid::ZERO,
+        }));
+        assert!(a.iter().any(|x| matches!(x, Action::TakeSnapshot)));
+        // Snapshot arrives: SNAP + NEWLEADER go out.
+        let a = l.handle(Input::SnapshotReady {
+            snapshot: Bytes::from_static(b"state"),
+            zxid: Zxid::new(Epoch(1), 2),
+        });
+        let f3_msgs = sends_to(&a, F3);
+        assert!(matches!(f3_msgs[0], Message::SyncSnap { .. }));
+        assert!(matches!(f3_msgs[1], Message::NewLeader { .. }));
+    }
+
+    #[test]
+    fn messages_from_non_members_are_ignored() {
+        let mut l = established_leader();
+        let a = l.handle(msg(ServerId(99), Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn commit_watermark_skips_to_highest_quorum_acked() {
+        // Pipelined proposals acked cumulatively: a single Ack(3) commits
+        // 1..3 at once.
+        let mut l = established_leader();
+        let mut persists = Vec::new();
+        for _ in 0..3 {
+            persists.extend(l.handle(Input::ClientRequest { data: Bytes::from_static(b"p") }));
+        }
+        complete_persists(&mut l, &persists);
+        let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 3) }));
+        let committed: Vec<Zxid> = a
+            .iter()
+            .filter_map(|x| match x {
+                Action::Committed { zxid } => Some(*zxid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            committed,
+            (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>()
+        );
+        // One cumulative COMMIT message.
+        let commits = sends_to(&a, F3)
+            .iter()
+            .filter(|m| matches!(m, Message::Commit { .. }))
+            .count();
+        assert_eq!(commits, 1);
+    }
+}

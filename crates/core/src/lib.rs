@@ -1,0 +1,156 @@
+//! # zab-core — primary-order atomic broadcast (Zab, DSN 2011)
+//!
+//! A sans-io, deterministic implementation of **Zab**, the crash-recovery
+//! atomic broadcast protocol behind ZooKeeper (Junqueira, Reed, Serafini:
+//! *"Zab: High-performance broadcast for primary-backup systems"*, DSN'11).
+//!
+//! Zab lets a **primary** process execute operations and broadcast the
+//! resulting *incremental state changes* to backups such that:
+//!
+//! - changes are delivered in a single total order at every process
+//!   (**total order**, **agreement**),
+//! - changes of one primary deliver in the order it generated them
+//!   (**local primary order**),
+//! - changes of an earlier primary never deliver after changes of a later
+//!   one (**global primary order**),
+//! - a new primary only starts broadcasting after every committed change of
+//!   earlier primaries is delivered (**primary integrity**),
+//!
+//! all while allowing the primary to keep **many transactions outstanding**
+//! (pipelined) — the combination that distinguishes Zab from running
+//! operations through a plain consensus sequence.
+//!
+//! ## Architecture
+//!
+//! The protocol is expressed as two pure automata — [`Leader`] and
+//! [`Follower`] — plus the [`Zab`] wrapper that holds whichever role the
+//! last election produced. Automata consume [`Input`]s and emit
+//! [`Action`]s; a *driver* (the deterministic simulator in `zab-simnet`,
+//! the TCP node in `zab-node`, or a test) performs the actual I/O. See
+//! [`events`] for the driver contract.
+//!
+//! Leader election (Phase 0) is *not* in this crate: any oracle that
+//! eventually nominates a single live process works. ZooKeeper's Fast
+//! Leader Election lives in the `zab-election` crate.
+//!
+//! ## Quick example (one automaton, hand-driven)
+//!
+//! ```
+//! use zab_core::{
+//!     ClusterConfig, Input, Leader, PersistentState, ServerId, Zxid,
+//! };
+//!
+//! // A 1-server ensemble establishes immediately; drive its persists.
+//! let cfg = ClusterConfig::majority([ServerId(1)]);
+//! let (mut leader, actions) =
+//!     Leader::new(ServerId(1), cfg, PersistentState::default(), Zxid::ZERO, 0);
+//! let mut pending = actions;
+//! while let Some(action) = pending.pop() {
+//!     if let zab_core::Action::Persist { token, .. } = action {
+//!         pending.extend(leader.handle(Input::Persisted { token }));
+//!     }
+//! }
+//! assert!(leader.is_established());
+//! ```
+
+pub mod config;
+pub mod delivery;
+pub mod events;
+pub mod follower;
+pub mod history;
+pub mod leader;
+pub mod messages;
+pub mod types;
+
+pub use config::{ClusterConfig, MajorityQuorum, QuorumSystem, WeightedQuorum};
+pub use events::{
+    Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason,
+};
+pub use follower::{Follower, FollowerStatus};
+pub use history::{History, SyncPlan};
+pub use leader::{Leader, LeaderStatus};
+pub use messages::Message;
+pub use types::{Epoch, ServerId, Txn, Zxid};
+
+/// The role a process plays after an election, wrapping the corresponding
+/// automaton. Drivers construct one per election outcome and feed it
+/// [`Input`]s until it emits [`Action::GoToElection`].
+#[derive(Debug)]
+pub enum Zab {
+    /// This process was nominated leader.
+    Leader(Leader),
+    /// This process follows `Follower::leader()`.
+    Follower(Follower),
+}
+
+impl Zab {
+    /// Builds the automaton for an election outcome: leader if `me ==
+    /// nominee`, follower bound to the nominee otherwise. Returns the
+    /// automaton plus its initial actions.
+    pub fn from_election(
+        me: ServerId,
+        nominee: ServerId,
+        config: ClusterConfig,
+        state: PersistentState,
+        applied_to: Zxid,
+        now_ms: u64,
+    ) -> (Zab, Vec<Action>) {
+        if me == nominee {
+            let (l, a) = Leader::new(me, config, state, applied_to, now_ms);
+            (Zab::Leader(l), a)
+        } else {
+            let (f, a) = Follower::new(me, nominee, config, state, applied_to, now_ms);
+            (Zab::Follower(f), a)
+        }
+    }
+
+    /// Feeds one input to the wrapped automaton.
+    pub fn handle(&mut self, input: Input) -> Vec<Action> {
+        match self {
+            Zab::Leader(l) => l.handle(input),
+            Zab::Follower(f) => f.handle(input),
+        }
+    }
+
+    /// This process's server id.
+    pub fn id(&self) -> ServerId {
+        match self {
+            Zab::Leader(l) => l.id(),
+            Zab::Follower(f) => f.id(),
+        }
+    }
+
+    /// True if this process is an established primary.
+    pub fn is_established_leader(&self) -> bool {
+        matches!(self, Zab::Leader(l) if l.is_established())
+    }
+
+    /// True if this process is an activated (synced) follower.
+    pub fn is_active_follower(&self) -> bool {
+        matches!(self, Zab::Follower(f) if f.status() == FollowerStatus::Active)
+    }
+
+    /// Tail of the accepted history.
+    pub fn last_zxid(&self) -> Zxid {
+        match self {
+            Zab::Leader(l) => l.last_zxid(),
+            Zab::Follower(f) => f.last_zxid(),
+        }
+    }
+
+    /// Highest committed zxid.
+    pub fn last_committed(&self) -> Zxid {
+        match self {
+            Zab::Leader(l) => l.last_committed(),
+            Zab::Follower(f) => f.last_committed(),
+        }
+    }
+
+    /// Snapshot of the durable protocol state.
+    pub fn persistent_state(&self) -> PersistentState {
+        match self {
+            Zab::Leader(l) => l.persistent_state(),
+            Zab::Follower(f) => f.persistent_state(),
+        }
+    }
+}

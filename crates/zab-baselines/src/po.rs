@@ -1,0 +1,117 @@
+//! Primary-order checking over origin-tagged delivered values.
+
+use crate::multipaxos::TaggedValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A primary-order violation in a delivered sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoViolation {
+    /// A primary's k-th value delivered without its (k-1)-th first
+    /// (local primary order / causal gap).
+    LocalGap {
+        /// Index in the delivered sequence.
+        index: usize,
+        /// The offending value.
+        value: TaggedValue,
+        /// The sequence number expected from this origin next.
+        expected_seq: u32,
+    },
+    /// A value of an earlier primary delivered after a value of a later
+    /// primary (global primary order).
+    GlobalInversion {
+        /// Index in the delivered sequence.
+        index: usize,
+        /// The offending (old-primary) value.
+        value: TaggedValue,
+        /// The later primary already seen.
+        later_origin: u32,
+    },
+}
+
+impl fmt::Display for PoViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoViolation::LocalGap { index, value, expected_seq } => write!(
+                f,
+                "local primary order violated at index {index}: origin {} delivered seq {} but seq {expected_seq} was never delivered",
+                value.origin, value.seq
+            ),
+            PoViolation::GlobalInversion { index, value, later_origin } => write!(
+                f,
+                "global primary order violated at index {index}: origin {} seq {} delivered after origin {later_origin}",
+                value.origin, value.seq
+            ),
+        }
+    }
+}
+
+/// Checks local + global primary order of a delivered sequence.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_primary_order(delivered: &[TaggedValue]) -> Result<(), PoViolation> {
+    let mut next_seq: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut max_origin_seen: u32 = 0;
+    for (index, &v) in delivered.iter().enumerate() {
+        if v.origin < max_origin_seen {
+            return Err(PoViolation::GlobalInversion {
+                index,
+                value: v,
+                later_origin: max_origin_seen,
+            });
+        }
+        max_origin_seen = max_origin_seen.max(v.origin);
+        let expected = next_seq.entry(v.origin).or_insert(1);
+        if v.seq != *expected {
+            return Err(PoViolation::LocalGap { index, value: v, expected_seq: *expected });
+        }
+        *expected += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(origin: u32, seq: u32) -> TaggedValue {
+        TaggedValue { origin, seq }
+    }
+
+    #[test]
+    fn clean_sequence_passes() {
+        check_primary_order(&[v(1, 1), v(1, 2), v(2, 1), v(2, 2)]).unwrap();
+    }
+
+    #[test]
+    fn empty_sequence_passes() {
+        check_primary_order(&[]).unwrap();
+    }
+
+    #[test]
+    fn local_gap_detected() {
+        let err = check_primary_order(&[v(1, 1), v(1, 3)]).unwrap_err();
+        assert!(matches!(err, PoViolation::LocalGap { index: 1, expected_seq: 2, .. }));
+    }
+
+    #[test]
+    fn missing_first_value_detected() {
+        let err = check_primary_order(&[v(1, 2)]).unwrap_err();
+        assert!(matches!(err, PoViolation::LocalGap { expected_seq: 1, .. }));
+    }
+
+    #[test]
+    fn global_inversion_detected() {
+        // The paper's Figure-1 shape: new primary's value, then an old
+        // primary's surviving later value.
+        let err = check_primary_order(&[v(2, 1), v(1, 2)]).unwrap_err();
+        assert!(matches!(err, PoViolation::GlobalInversion { index: 1, later_origin: 2, .. }));
+    }
+
+    #[test]
+    fn new_primary_after_clean_prefix_is_fine() {
+        check_primary_order(&[v(1, 1), v(2, 1)]).unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for Fast Leader Election: convergence to the freshest
+//! process under synchronous gossip, for arbitrary credentials and
+//! ensemble sizes, plus codec totality.
+
+use proptest::prelude::*;
+use zab_core::{Epoch, ServerId, Zxid};
+use zab_election::{
+    Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote,
+};
+
+/// Synchronous full-mesh gossip until everyone decides (or step budget).
+fn converge(credentials: &[(u32, u64)]) -> Vec<(ServerId, Option<ServerId>)> {
+    let n = credentials.len() as u64;
+    let cfg = ElectionConfig::new((1..=n).map(ServerId));
+    let mut nodes: Vec<Election> = Vec::new();
+    let mut queue: Vec<(ServerId, ElectionAction)> = Vec::new();
+    for (i, &(epoch, zxid)) in credentials.iter().enumerate() {
+        let id = ServerId(i as u64 + 1);
+        let vote = Vote { peer_epoch: Epoch(epoch), last_zxid: Zxid(zxid), leader: id };
+        let (e, acts) = Election::new(id, cfg.clone(), vote, 0);
+        queue.extend(acts.into_iter().map(|a| (id, a)));
+        nodes.push(e);
+    }
+    let mut now = 0u64;
+    for _ in 0..500 {
+        while let Some((from, act)) = queue.pop() {
+            if let ElectionAction::Send { to, notification } = act {
+                if let Some(node) = nodes.iter_mut().find(|x| x.id() == to) {
+                    let acts = node.handle(ElectionInput::Notification { from, notification });
+                    let id = node.id();
+                    queue.extend(acts.into_iter().map(|a| (id, a)));
+                }
+            }
+        }
+        if nodes.iter().all(|x| !x.is_looking()) {
+            break;
+        }
+        now += 100;
+        for node in &mut nodes {
+            let acts = node.handle(ElectionInput::Tick { now_ms: now });
+            let id = node.id();
+            queue.extend(acts.into_iter().map(|a| (id, a)));
+        }
+    }
+    nodes.iter().map(|x| (x.id(), x.decided_leader())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Everyone decides, everyone agrees, and the winner is the maximum by
+    /// `(epoch, zxid, id)` — the freshest history.
+    #[test]
+    fn fle_converges_to_freshest(
+        credentials in prop::collection::vec((0u32..5, 0u64..20), 1..9),
+    ) {
+        let outcomes = converge(&credentials);
+        let expected = credentials
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, z))| (e, z, i as u64 + 1))
+            .max()
+            .map(|(_, _, id)| ServerId(id))
+            .expect("nonempty");
+        for (id, decided) in outcomes {
+            prop_assert_eq!(decided, Some(expected), "node {} diverged", id);
+        }
+    }
+
+    /// Notification decoding is total (never panics) and round-trips.
+    #[test]
+    fn notification_codec_total(
+        round in any::<u64>(),
+        state_tag in 0u8..3,
+        epoch in any::<u32>(),
+        zxid in any::<u64>(),
+        leader in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let state = match state_tag {
+            0 => zab_election::NodeState::Looking,
+            1 => zab_election::NodeState::Leading,
+            _ => zab_election::NodeState::Following,
+        };
+        let n = Notification {
+            round,
+            state,
+            vote: Vote { peer_epoch: Epoch(epoch), last_zxid: Zxid(zxid), leader: ServerId(leader) },
+        };
+        prop_assert_eq!(Notification::decode(&n.encode()).unwrap(), n);
+        let _ = Notification::decode(&garbage);
+    }
+
+    /// A decided ensemble absorbs any sequence of late lookers without
+    /// changing its decision.
+    #[test]
+    fn late_lookers_never_destabilize(
+        base in prop::collection::vec((0u32..3, 0u64..10), 2..5),
+        joiner_cred in (0u32..10, 0u64..100),
+    ) {
+        let n = base.len() as u64 + 1;
+        let cfg = ElectionConfig::new((1..=n).map(ServerId));
+        // Converge the base ensemble (joiner absent).
+        let mut nodes: Vec<Election> = Vec::new();
+        let mut queue: Vec<(ServerId, ElectionAction)> = Vec::new();
+        for (i, &(epoch, zxid)) in base.iter().enumerate() {
+            let id = ServerId(i as u64 + 1);
+            let vote = Vote { peer_epoch: Epoch(epoch), last_zxid: Zxid(zxid), leader: id };
+            let (e, acts) = Election::new(id, cfg.clone(), vote, 0);
+            queue.extend(acts.into_iter().map(|a| (id, a)));
+            nodes.push(e);
+        }
+        let mut now = 0u64;
+        for _ in 0..200 {
+            while let Some((from, act)) = queue.pop() {
+                if let ElectionAction::Send { to, notification } = act {
+                    if let Some(node) = nodes.iter_mut().find(|x| x.id() == to) {
+                        let acts =
+                            node.handle(ElectionInput::Notification { from, notification });
+                        let id = node.id();
+                        queue.extend(acts.into_iter().map(|a| (id, a)));
+                    }
+                }
+            }
+            if nodes.iter().all(|x| !x.is_looking()) {
+                break;
+            }
+            now += 100;
+            for node in &mut nodes {
+                let acts = node.handle(ElectionInput::Tick { now_ms: now });
+                let id = node.id();
+                queue.extend(acts.into_iter().map(|a| (id, a)));
+            }
+        }
+        let decided: Vec<Option<ServerId>> =
+            nodes.iter().map(|x| x.decided_leader()).collect();
+        prop_assume!(decided.iter().all(|d| d.is_some()));
+        let settled = decided[0];
+
+        // The joiner arrives with arbitrary (possibly superior) credentials.
+        let joiner_id = ServerId(n);
+        let (epoch, zxid) = joiner_cred;
+        let vote = Vote { peer_epoch: Epoch(epoch), last_zxid: Zxid(zxid), leader: joiner_id };
+        let (mut joiner, acts) = Election::new(joiner_id, cfg, vote, 0);
+        let mut queue: Vec<(ServerId, ElectionAction)> =
+            acts.into_iter().map(|a| (joiner_id, a)).collect();
+        for _ in 0..200 {
+            let Some((from, act)) = queue.pop() else { break };
+            if let ElectionAction::Send { to, notification } = act {
+                if to == joiner_id {
+                    let acts = joiner.handle(ElectionInput::Notification { from, notification });
+                    queue.extend(acts.into_iter().map(|a| (joiner_id, a)));
+                } else if let Some(node) = nodes.iter_mut().find(|x| x.id() == to) {
+                    let acts = node.handle(ElectionInput::Notification { from, notification });
+                    let id = node.id();
+                    queue.extend(acts.into_iter().map(|a| (id, a)));
+                }
+            }
+        }
+        // The ensemble's decision is unchanged; the joiner adopted it.
+        for node in &nodes {
+            prop_assert_eq!(node.decided_leader(), settled);
+        }
+        prop_assert_eq!(joiner.decided_leader(), settled);
+    }
+}

@@ -1,0 +1,56 @@
+//! # zab-kv — a ZooKeeper-like data tree over Zab
+//!
+//! The Zab abstract describes the system shape this crate completes:
+//!
+//! > *"ZooKeeper implements a primary-backup scheme in which a primary
+//! > process executes clients operations and uses Zab to propagate the
+//! > corresponding incremental state changes to backup processes."*
+//!
+//! The crucial word is **incremental**. A client operation like
+//! `create -s /lock/req-` (sequential node) or `setData -v 3 /cfg` (versioned
+//! write) is *non-deterministic with respect to the raw operation*: its
+//! outcome depends on the state the primary executed it against (the next
+//! sequence number, the current version). So the primary **executes** the
+//! operation, and what gets broadcast is the resulting **state delta**
+//! ([`Delta`]) — fully deterministic to apply. This is exactly why Zab must
+//! guarantee that a delta is never delivered unless every delta it was
+//! computed against is delivered first (primary order): applying
+//! `{create "/lock/req-0000000007"}` to a tree that never saw request 6
+//! silently corrupts the lock queue.
+//!
+//! Pieces:
+//!
+//! - [`DataTree`] — the replicated state: hierarchical znodes with data,
+//!   versions, child lists and per-parent sequential counters. Applies
+//!   [`Delta`]s; serves reads; snapshots to bytes.
+//! - [`Op`] — client operations (create / delete / set-data with optional
+//!   version guards, plus reads served locally).
+//! - [`PrimaryExecutor`] — the primary-side speculative executor: executes
+//!   ops against *latest-proposed* state (so pipelined ops chain), emits
+//!   deltas for broadcast, and can be rebuilt from committed state after a
+//!   leadership change.
+//!
+//! # Example
+//!
+//! ```
+//! use zab_kv::{DataTree, Op, PrimaryExecutor};
+//!
+//! let mut primary = PrimaryExecutor::new(DataTree::new());
+//! let mut backup = DataTree::new();
+//!
+//! // The primary executes; the backup applies the broadcast delta.
+//! let (delta, result) = primary
+//!     .execute(&Op::create_sequential("/task-", b"job".to_vec()))
+//!     .unwrap();
+//! assert_eq!(result.created_path.as_deref(), Some("/task-0000000000"));
+//! backup.apply(&delta).unwrap();
+//! assert!(backup.exists("/task-0000000000"));
+//! ```
+
+pub mod ops;
+pub mod primary;
+pub mod tree;
+
+pub use ops::{Delta, Op, OpResult};
+pub use primary::PrimaryExecutor;
+pub use tree::{DataTree, KvError};

@@ -1,0 +1,247 @@
+//! On-disk record formats shared by the file-backed stores.
+//!
+//! **Log record** (append-only `log` file):
+//!
+//! ```text
+//! +-----------+-------------+----------------------------+
+//! | len: u32  | crc32c: u32 | body: zxid u64 + payload   |
+//! +-----------+-------------+----------------------------+
+//! ```
+//!
+//! identical to a `zab-wire` frame whose payload is an encoded
+//! [`zab_core::Txn`]. A torn tail (partial final record, or a final record
+//! failing its checksum) is detected and discarded during the recovery
+//! scan, matching ZooKeeper's transaction-log recovery semantics.
+//!
+//! **Epoch record** (atomically replaced `epochs` file):
+//!
+//! ```text
+//! +-------------------+------------------+-------------+
+//! | accepted: u32 LE  | current: u32 LE  | crc32c: u32 |
+//! +-------------------+------------------+-------------+
+//! ```
+//!
+//! **Snapshot file** (atomically replaced `snapshot` file):
+//!
+//! ```text
+//! +--------------+--------------------+-------------+
+//! | zxid: u64 LE | payload (to EOF-4) | crc32c: u32 |
+//! +--------------+--------------------+-------------+
+//! ```
+
+use zab_core::{Epoch, Txn, Zxid};
+use zab_wire::codec::{WireRead, WireWrite};
+use zab_wire::crc32c::crc32c;
+
+use crate::StorageError;
+
+/// Encodes one transaction as a checksummed log record.
+pub fn encode_log_record(txn: &Txn) -> Vec<u8> {
+    let mut body = Vec::with_capacity(12 + txn.data.len());
+    txn.encode(&mut body);
+    zab_wire::frame::encode_frame(&body)
+}
+
+/// Result of scanning a log byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LogScan {
+    /// Intact transactions, in file order.
+    pub txns: Vec<Txn>,
+    /// Bytes of the intact prefix; everything after is a torn tail.
+    pub valid_len: u64,
+    /// True if a torn/corrupt tail was discarded.
+    pub torn_tail: bool,
+}
+
+/// Scans raw log bytes, returning every intact record and the length of
+/// the valid prefix. Corruption mid-file (not at the tail) still stops the
+/// scan — the caller decides whether truncating there is acceptable.
+pub fn scan_log(data: &[u8]) -> LogScan {
+    let mut dec = zab_wire::frame::FrameDecoder::new();
+    dec.extend(data);
+    let mut txns = Vec::new();
+    let mut valid_len = 0u64;
+    loop {
+        match dec.next_frame() {
+            Ok(Some(payload)) => {
+                let mut cur = payload.as_slice();
+                match Txn::decode(&mut cur) {
+                    Ok(txn) if cur.is_empty() => {
+                        valid_len += (zab_wire::frame::HEADER_LEN + payload.len()) as u64;
+                        txns.push(txn);
+                    }
+                    _ => {
+                        // Record framed correctly but body malformed: stop.
+                        return LogScan { txns, valid_len, torn_tail: true };
+                    }
+                }
+            }
+            Ok(None) => {
+                let torn = valid_len != data.len() as u64;
+                return LogScan { txns, valid_len, torn_tail: torn };
+            }
+            Err(_) => {
+                return LogScan { txns, valid_len, torn_tail: true };
+            }
+        }
+    }
+}
+
+/// Encodes the epoch pair record.
+pub fn encode_epochs(accepted: Epoch, current: Epoch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12);
+    buf.put_u32_le_wire(accepted.0);
+    buf.put_u32_le_wire(current.0);
+    let crc = crc32c(&buf);
+    buf.put_u32_le_wire(crc);
+    buf
+}
+
+/// Decodes the epoch pair record.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Corrupt`] on bad length or checksum.
+pub fn decode_epochs(data: &[u8]) -> Result<(Epoch, Epoch), StorageError> {
+    if data.len() != 12 {
+        return Err(StorageError::Corrupt(format!(
+            "epoch record has {} bytes, expected 12",
+            data.len()
+        )));
+    }
+    let mut cur = data;
+    let accepted = Epoch(cur.get_u32_le_wire().expect("length checked"));
+    let current = Epoch(cur.get_u32_le_wire().expect("length checked"));
+    let stored = cur.get_u32_le_wire().expect("length checked");
+    if crc32c(&data[..8]) != stored {
+        return Err(StorageError::Corrupt("epoch record checksum mismatch".into()));
+    }
+    Ok((accepted, current))
+}
+
+/// Encodes a snapshot file: zxid header, payload, trailing checksum over
+/// header + payload.
+pub fn encode_snapshot(zxid: Zxid, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    buf.put_u64_le_wire(zxid.0);
+    buf.extend_from_slice(payload);
+    let crc = crc32c(&buf);
+    buf.put_u32_le_wire(crc);
+    buf
+}
+
+/// Decodes a snapshot file.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Corrupt`] on bad length or checksum.
+pub fn decode_snapshot(data: &[u8]) -> Result<(Zxid, Vec<u8>), StorageError> {
+    if data.len() < 12 {
+        return Err(StorageError::Corrupt("snapshot file too short".into()));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32c(body) != stored {
+        return Err(StorageError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    let mut cur = body;
+    let zxid = Zxid(cur.get_u64_le_wire().expect("length checked"));
+    Ok((zxid, cur.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(c: u32) -> Txn {
+        Txn::new(Zxid::new(Epoch(1), c), vec![c as u8; 5])
+    }
+
+    #[test]
+    fn log_round_trip() {
+        let mut data = Vec::new();
+        for c in 1..=5 {
+            data.extend(encode_log_record(&txn(c)));
+        }
+        let scan = scan_log(&data);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.valid_len, data.len() as u64);
+        assert_eq!(scan.txns.len(), 5);
+        assert_eq!(scan.txns[4].zxid, Zxid::new(Epoch(1), 5));
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let mut data = Vec::new();
+        data.extend(encode_log_record(&txn(1)));
+        let good_len = data.len() as u64;
+        let mut partial = encode_log_record(&txn(2));
+        partial.truncate(partial.len() - 3);
+        data.extend(partial);
+        let scan = scan_log(&data);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.txns.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_record_stops_scan() {
+        let mut data = Vec::new();
+        data.extend(encode_log_record(&txn(1)));
+        let good_len = data.len() as u64;
+        let mut bad = encode_log_record(&txn(2));
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        data.extend(bad);
+        data.extend(encode_log_record(&txn(3)));
+        let scan = scan_log(&data);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.txns.len(), 1);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan_log(&[]);
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.txns.is_empty());
+    }
+
+    #[test]
+    fn epochs_round_trip() {
+        let data = encode_epochs(Epoch(7), Epoch(6));
+        assert_eq!(decode_epochs(&data).unwrap(), (Epoch(7), Epoch(6)));
+    }
+
+    #[test]
+    fn epochs_detect_corruption() {
+        let mut data = encode_epochs(Epoch(7), Epoch(6));
+        data[0] ^= 1;
+        assert!(decode_epochs(&data).is_err());
+        assert!(decode_epochs(&data[..8]).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let data = encode_snapshot(Zxid::new(Epoch(3), 9), b"app state");
+        let (zxid, payload) = decode_snapshot(&data).unwrap();
+        assert_eq!(zxid, Zxid::new(Epoch(3), 9));
+        assert_eq!(payload, b"app state");
+    }
+
+    #[test]
+    fn snapshot_detects_corruption() {
+        let mut data = encode_snapshot(Zxid::new(Epoch(3), 9), b"app state");
+        data[9] ^= 0x10;
+        assert!(decode_snapshot(&data).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_payload_allowed() {
+        let data = encode_snapshot(Zxid::ZERO, b"");
+        let (zxid, payload) = decode_snapshot(&data).unwrap();
+        assert_eq!(zxid, Zxid::ZERO);
+        assert!(payload.is_empty());
+    }
+}

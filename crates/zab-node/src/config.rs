@@ -1,0 +1,86 @@
+//! Replica configuration.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use zab_core::{ClusterConfig, ServerId};
+use zab_election::ElectionConfig;
+
+/// Everything needed to boot one replica.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This server's id (must appear in `peers`).
+    pub id: ServerId,
+    /// Address book of the full ensemble, including this server; this
+    /// server listens on its own entry.
+    pub peers: BTreeMap<ServerId, SocketAddr>,
+    /// Protocol parameters (quorums derived from `peers` by default).
+    pub cluster: ClusterConfig,
+    /// Election parameters.
+    pub election: ElectionConfig,
+    /// Storage directory; `None` uses in-memory storage (tests, benches).
+    pub data_dir: Option<PathBuf>,
+    /// Event-loop tick period in milliseconds.
+    pub tick_ms: u64,
+    /// Compact the log into a snapshot every `k` applied transactions
+    /// (ZooKeeper's snapCount); `None` disables compaction.
+    pub snapshot_every: Option<u64>,
+}
+
+impl NodeConfig {
+    /// Defaults: majority quorums over the address book, in-memory
+    /// storage, 5 ms ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `peers`.
+    pub fn new(id: ServerId, peers: BTreeMap<ServerId, SocketAddr>) -> NodeConfig {
+        assert!(peers.contains_key(&id), "own id must be in the address book");
+        let members: Vec<ServerId> = peers.keys().copied().collect();
+        NodeConfig {
+            id,
+            peers,
+            cluster: ClusterConfig::majority(members.clone()),
+            election: ElectionConfig::new(members),
+            data_dir: None,
+            tick_ms: 5,
+            snapshot_every: None,
+        }
+    }
+
+    /// Uses file-backed storage rooted at `dir`.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> NodeConfig {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables periodic log compaction every `k` applied transactions.
+    pub fn with_snapshot_every(mut self, k: u64) -> NodeConfig {
+        self.snapshot_every = Some(k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book(n: u64) -> BTreeMap<ServerId, SocketAddr> {
+        (1..=n)
+            .map(|i| (ServerId(i), format!("127.0.0.1:{}", 7000 + i).parse().expect("addr")))
+            .collect()
+    }
+
+    #[test]
+    fn defaults_derive_quorum_from_address_book() {
+        let cfg = NodeConfig::new(ServerId(2), book(3));
+        assert_eq!(cfg.cluster.ensemble_size(), 3);
+        assert!(cfg.data_dir.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "own id must be in the address book")]
+    fn unknown_own_id_rejected() {
+        let _ = NodeConfig::new(ServerId(9), book(3));
+    }
+}

@@ -1,0 +1,475 @@
+//! The replica event loop.
+
+use crate::apps::Application;
+use crate::config::NodeConfig;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use zab_core::{
+    Action, Epoch, Input, PersistRequest, PersistToken, ServerId, Txn, Zab, Zxid,
+};
+use zab_election::{Election, ElectionAction, ElectionInput, Vote};
+use zab_log::{FileStorage, MemStorage, Storage};
+use zab_transport::{Transport, TransportEvent, TransportMsg};
+
+/// The replica's current protocol role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Electing.
+    Looking,
+    /// Nominated leader; `established` once phase 3 begins.
+    Leading {
+        /// True once broadcasting.
+        established: bool,
+        /// The epoch (valid once known).
+        epoch: Epoch,
+    },
+    /// Following `leader`; `active` once synchronized.
+    Following {
+        /// The leader.
+        leader: ServerId,
+        /// True once synced and serving.
+        active: bool,
+    },
+}
+
+/// Events surfaced to the embedding program.
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// A transaction committed and was applied locally.
+    Delivered(Txn),
+    /// The protocol role changed.
+    RoleChanged(Role),
+    /// A submitted request was not broadcast.
+    Rejected {
+        /// The original request bytes.
+        request: Bytes,
+        /// Why.
+        reason: String,
+    },
+}
+
+enum Command {
+    Submit(Vec<u8>),
+    Shutdown,
+}
+
+enum DiskCmd {
+    Persist(PersistToken, PersistRequest),
+    /// Compact the log through `through` with the given app snapshot.
+    /// Routed through the disk thread so it serializes after every append
+    /// already queued (a delivered txn's own append may still be in the
+    /// queue when the event loop decides to compact).
+    Compact {
+        snapshot: Vec<u8>,
+        through: Zxid,
+    },
+}
+
+/// A running replica. Dropping it (or calling [`Replica::shutdown`]) stops
+/// all its threads.
+pub struct Replica<A: Application> {
+    id: ServerId,
+    commands: Sender<Command>,
+    events_rx: Receiver<NodeEvent>,
+    role: Arc<Mutex<Role>>,
+    app: Arc<Mutex<A>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<A: Application> Replica<A> {
+    /// Boots a replica: recovers storage, joins the TCP mesh, starts
+    /// leader election.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket bind or storage errors.
+    pub fn start(cfg: NodeConfig, app: A) -> Result<Replica<A>, Box<dyn std::error::Error>> {
+        let id = cfg.id;
+        let listen = cfg.peers[&id];
+        let transport = Transport::start(id, listen, cfg.peers.clone())?;
+
+        let storage: Box<dyn Storage + Send> = match &cfg.data_dir {
+            Some(dir) => Box::new(FileStorage::open(dir)?),
+            None => Box::new(MemStorage::new()),
+        };
+        let storage = Arc::new(Mutex::new(storage));
+
+        let (commands_tx, commands_rx) = unbounded();
+        let (events_tx, events_rx) = unbounded();
+        let (disk_tx, disk_rx) = unbounded::<DiskCmd>();
+        let (done_tx, done_rx) = unbounded::<PersistToken>();
+        let role = Arc::new(Mutex::new(Role::Looking));
+        let app = Arc::new(Mutex::new(app));
+
+        // Disk thread: group commit — drain everything queued, apply,
+        // flush once, complete the batch's last token.
+        let disk_storage = Arc::clone(&storage);
+        let disk_thread = std::thread::spawn(move || {
+            while let Ok(first) = disk_rx.recv() {
+                let mut batch = Vec::new();
+                let mut compact = None;
+                match first {
+                    DiskCmd::Persist(t, r) => batch.push((t, r)),
+                    DiskCmd::Compact { snapshot, through } => {
+                        compact = Some((snapshot, through))
+                    }
+                }
+                // Group commit: drain consecutive persists; a compaction
+                // command ends the batch (it must run after the flush).
+                if compact.is_none() {
+                    while let Ok(cmd) = disk_rx.try_recv() {
+                        match cmd {
+                            DiskCmd::Persist(t, r) => batch.push((t, r)),
+                            DiskCmd::Compact { snapshot, through } => {
+                                compact = Some((snapshot, through));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !batch.is_empty() {
+                    let last = batch.last().expect("nonempty").0;
+                    {
+                        let mut s = disk_storage.lock();
+                        for (_, req) in &batch {
+                            if s.apply(req).is_err() {
+                                // Divergent write: surface by stopping; the
+                                // event loop treats missing completions as
+                                // a wedged disk.
+                                return;
+                            }
+                        }
+                        if s.flush().is_err() {
+                            return;
+                        }
+                    }
+                    if done_tx.send(last).is_err() {
+                        return;
+                    }
+                }
+                if let Some((snapshot, through)) = compact {
+                    if disk_storage.lock().compact(&snapshot, through).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+
+        let loop_state = EventLoop {
+            id,
+            cfg,
+            transport,
+            storage,
+            election: None,
+            zab: None,
+            app: Arc::clone(&app),
+            disk_tx,
+            done_rx,
+            commands_rx,
+            events_tx,
+            role: Arc::clone(&role),
+            was_primary: false,
+            start: std::time::Instant::now(),
+            applied_since_compact: 0,
+        };
+        let loop_thread = std::thread::spawn(move || loop_state.run());
+
+        Ok(Replica {
+            id,
+            commands: commands_tx,
+            events_rx,
+            role,
+            app,
+            threads: vec![disk_thread, loop_thread],
+        })
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Submits a client request. If this replica is the established
+    /// primary, the application executes it and the resulting delta is
+    /// broadcast; otherwise a [`NodeEvent::Rejected`] is emitted.
+    pub fn submit(&self, request: Vec<u8>) {
+        let _ = self.commands.send(Command::Submit(request));
+    }
+
+    /// The event stream (deliveries, role changes, rejections).
+    pub fn events(&self) -> &Receiver<NodeEvent> {
+        &self.events_rx
+    }
+
+    /// Current role snapshot.
+    pub fn role(&self) -> Role {
+        *self.role.lock()
+    }
+
+    /// Runs `f` with shared access to the application (e.g. to serve
+    /// reads from a KV tree).
+    pub fn with_app<R>(&self, f: impl FnOnce(&A) -> R) -> R {
+        f(&self.app.lock())
+    }
+
+    /// Stops all threads.
+    pub fn shutdown(mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<A: Application> Drop for Replica<A> {
+    fn drop(&mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+struct EventLoop<A: Application> {
+    id: ServerId,
+    cfg: NodeConfig,
+    transport: Transport,
+    storage: Arc<Mutex<Box<dyn Storage + Send>>>,
+    election: Option<Election>,
+    zab: Option<Zab>,
+    app: Arc<Mutex<A>>,
+    disk_tx: Sender<DiskCmd>,
+    done_rx: Receiver<PersistToken>,
+    commands_rx: Receiver<Command>,
+    events_tx: Sender<NodeEvent>,
+    role: Arc<Mutex<Role>>,
+    was_primary: bool,
+    start: std::time::Instant,
+    applied_since_compact: u64,
+}
+
+impl<A: Application> EventLoop<A> {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn run(mut self) {
+        self.begin_election();
+        let ticker = crossbeam::channel::tick(Duration::from_millis(self.cfg.tick_ms));
+        loop {
+            crossbeam::channel::select! {
+                recv(self.commands_rx) -> cmd => match cmd {
+                    Ok(Command::Submit(request)) => self.on_submit(request),
+                    Ok(Command::Shutdown) | Err(_) => return,
+                },
+                recv(self.done_rx) -> token => {
+                    if let Ok(token) = token {
+                        self.feed_zab(Input::Persisted { token });
+                    }
+                }
+                recv(self.transport.events()) -> ev => match ev {
+                    Ok(TransportEvent::Message { from, msg }) => match msg {
+                        TransportMsg::Zab(m) => {
+                            self.feed_zab(Input::Message { from, msg: m })
+                        }
+                        TransportMsg::Election(n) => self.feed_election(
+                            ElectionInput::Notification { from, notification: n },
+                        ),
+                    },
+                    Ok(TransportEvent::PeerDisconnected { peer }) => {
+                        self.feed_zab(Input::PeerDisconnected { peer });
+                    }
+                    Err(_) => return,
+                },
+                recv(ticker) -> _ => {
+                    let now_ms = self.now_ms();
+                    self.feed_election(ElectionInput::Tick { now_ms });
+                    self.feed_zab(Input::Tick { now_ms });
+                }
+            }
+            self.publish_role();
+        }
+    }
+
+    fn begin_election(&mut self) {
+        let rec = self.storage.lock().recover().expect("storage recovers");
+        // Restore the application from the durable snapshot if it is
+        // behind the log's compaction point.
+        {
+            let mut app = self.app.lock();
+            if app.applied_to() < rec.history.base() {
+                let snap = rec.snapshot.clone().expect("base > 0 implies snapshot");
+                app.install(&snap, rec.history.base());
+            }
+        }
+        let vote = Vote {
+            peer_epoch: rec.current_epoch,
+            last_zxid: rec.history.last_zxid(),
+            leader: self.id,
+        };
+        let (election, acts) =
+            Election::new(self.id, self.cfg.election.clone(), vote, self.now_ms());
+        self.election = Some(election);
+        self.route_election(acts);
+    }
+
+    fn feed_election(&mut self, input: ElectionInput) {
+        let Some(el) = self.election.as_mut() else { return };
+        let acts = el.handle(input);
+        self.route_election(acts);
+    }
+
+    fn route_election(&mut self, acts: Vec<ElectionAction>) {
+        for a in acts {
+            match a {
+                ElectionAction::Send { to, notification } => {
+                    self.transport.send(to, TransportMsg::Election(notification));
+                }
+                ElectionAction::Decided { leader } => {
+                    let rec = self.storage.lock().recover().expect("storage recovers");
+                    let applied_to = self.app.lock().applied_to();
+                    let (zab, acts) = Zab::from_election(
+                        self.id,
+                        leader,
+                        self.cfg.cluster.clone(),
+                        rec.into_persistent_state(),
+                        applied_to,
+                        self.now_ms(),
+                    );
+                    self.zab = Some(zab);
+                    self.route_zab(acts);
+                }
+            }
+        }
+    }
+
+    fn feed_zab(&mut self, input: Input) {
+        let Some(zab) = self.zab.as_mut() else { return };
+        let acts = zab.handle(input);
+        self.route_zab(acts);
+    }
+
+    fn route_zab(&mut self, acts: Vec<Action>) {
+        for a in acts {
+            match a {
+                Action::Send { to, msg } => self.transport.send(to, TransportMsg::Zab(msg)),
+                Action::Persist { token, req } => {
+                    let _ = self.disk_tx.send(DiskCmd::Persist(token, req));
+                }
+                Action::Deliver { txn } => {
+                    self.app.lock().apply(&txn);
+                    let _ = self.events_tx.send(NodeEvent::Delivered(txn));
+                    self.applied_since_compact += 1;
+                    if let Some(every) = self.cfg.snapshot_every {
+                        if self.applied_since_compact >= every {
+                            self.applied_since_compact = 0;
+                            self.compact();
+                        }
+                    }
+                }
+                Action::InstallSnapshot { snapshot, zxid } => {
+                    self.app.lock().install(&snapshot, zxid);
+                }
+                Action::TakeSnapshot => {
+                    let (snapshot, zxid) = {
+                        let app = self.app.lock();
+                        (Bytes::from(app.snapshot()), app.applied_to())
+                    };
+                    self.feed_zab(Input::SnapshotReady { snapshot, zxid });
+                }
+                Action::GoToElection { .. } => {
+                    self.zab = None;
+                    let rec = self
+                        .storage
+                        .lock()
+                        .recover()
+                        .unwrap_or_else(|e| panic!("storage recover failed on {}: {e}", self.id));
+                    let now_ms = self.now_ms();
+                    let el = self.election.as_mut().expect("election exists");
+                    let acts =
+                        el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
+                    self.route_election(acts);
+                }
+                Action::Activated { .. } | Action::Committed { .. } => {}
+                Action::ClientRequestRejected { data, reason } => {
+                    let _ = self.events_tx.send(NodeEvent::Rejected {
+                        request: data,
+                        reason: format!("{reason:?}"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Periodic snapshotting (ZooKeeper's snapCount): queue the durable
+    /// compaction behind all pending log appends, and drop the matching
+    /// in-memory history prefix.
+    fn compact(&mut self) {
+        let (snapshot, through) = {
+            let app = self.app.lock();
+            (app.snapshot(), app.applied_to())
+        };
+        let _ = self.disk_tx.send(DiskCmd::Compact { snapshot, through });
+        self.feed_zab(Input::Compact { through });
+    }
+
+    fn on_submit(&mut self, request: Vec<u8>) {
+        let is_primary = matches!(&self.zab, Some(Zab::Leader(l)) if l.is_established());
+        if !is_primary {
+            let _ = self.events_tx.send(NodeEvent::Rejected {
+                request: Bytes::from(request),
+                reason: "NotPrimary".to_string(),
+            });
+            return;
+        }
+        let executed = self.app.lock().execute(&request);
+        match executed {
+            Ok(delta) => self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) }),
+            Err(reason) => {
+                let _ = self
+                    .events_tx
+                    .send(NodeEvent::Rejected { request: Bytes::from(request), reason });
+            }
+        }
+    }
+
+    fn current_role(&self) -> Role {
+        match &self.zab {
+            None => Role::Looking,
+            Some(Zab::Leader(l)) => Role::Leading {
+                established: l.is_established(),
+                epoch: l.epoch(),
+            },
+            Some(Zab::Follower(f)) => Role::Following {
+                leader: f.leader(),
+                active: f.status() == zab_core::FollowerStatus::Active,
+            },
+        }
+    }
+
+    fn publish_role(&mut self) {
+        let role = self.current_role();
+        let is_primary = matches!(role, Role::Leading { established: true, .. });
+        if is_primary != self.was_primary {
+            self.was_primary = is_primary;
+            self.app.lock().on_role_change(is_primary);
+        }
+        let mut cur = self.role.lock();
+        if *cur != role {
+            *cur = role;
+            let _ = self.events_tx.send(NodeEvent::RoleChanged(role));
+        }
+    }
+}
+
+/// Convenience: true once the role is an established leader.
+pub fn is_established(role: Role) -> bool {
+    matches!(role, Role::Leading { established: true, .. })
+}
+
+/// Convenience: the zxid type re-exported for embedding programs.
+pub type AppliedZxid = Zxid;

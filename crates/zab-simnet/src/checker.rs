@@ -1,0 +1,267 @@
+//! The PO-atomic-broadcast correctness checker.
+//!
+//! Checks the safety properties of the paper (§4) over the applied logs of
+//! all nodes. Because the simulated application state is the full applied
+//! sequence (see [`crate::app`]), the checks are exact even across SNAP
+//! synchronizations:
+//!
+//! - **Total order / agreement (safety part)**: any two applied logs are
+//!   prefix-compatible and agree on payloads at equal zxids.
+//! - **PO delivery order**: each log is strictly ascending by zxid. With
+//!   ZooKeeper zxids this implies *local primary order* (same-epoch
+//!   transactions deliver in counter order) and *global primary order*
+//!   (earlier-epoch transactions never deliver after later-epoch ones).
+//! - **Epoch contiguity** (local primary order, gap part): within an
+//!   epoch, delivered counters are contiguous starting at 1 — a primary's
+//!   k-th change never commits unless changes 1..k-1 did.
+//! - **Integrity / no duplication**: every applied payload hash was
+//!   broadcast by a client, and no zxid appears twice in one log.
+
+use crate::app::Applied;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+use zab_core::ServerId;
+
+/// A safety violation found by the checker. Any of these failing means the
+/// implementation broke PO atomic broadcast — they are bugs, never
+/// tolerable outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckerError {
+    /// Two nodes' applied logs disagree at some position.
+    Divergence {
+        /// First node.
+        a: ServerId,
+        /// Second node.
+        b: ServerId,
+        /// Index of the first disagreement.
+        index: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A node applied transactions out of zxid order.
+    OutOfOrder {
+        /// The node.
+        node: ServerId,
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// Counters within an epoch have a gap or do not start at 1.
+    EpochGap {
+        /// The node.
+        node: ServerId,
+        /// Index of the offending entry.
+        index: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The same zxid was applied twice by one node.
+    Duplicate {
+        /// The node.
+        node: ServerId,
+        /// Index of the second occurrence.
+        index: usize,
+    },
+    /// A node applied a payload no client ever submitted.
+    ForeignPayload {
+        /// The node.
+        node: ServerId,
+        /// Index of the offending entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CheckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckerError::Divergence { a, b, index, detail } => {
+                write!(f, "divergence between {a} and {b} at index {index}: {detail}")
+            }
+            CheckerError::OutOfOrder { node, index } => {
+                write!(f, "{node} applied out of zxid order at index {index}")
+            }
+            CheckerError::EpochGap { node, index, detail } => {
+                write!(f, "{node} epoch-counter gap at index {index}: {detail}")
+            }
+            CheckerError::Duplicate { node, index } => {
+                write!(f, "{node} applied a duplicate zxid at index {index}")
+            }
+            CheckerError::ForeignPayload { node, index } => {
+                write!(f, "{node} applied a never-broadcast payload at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for CheckerError {}
+
+/// Checks one node's applied log in isolation.
+pub fn check_local(
+    node: ServerId,
+    log: &[Applied],
+    broadcast_hashes: Option<&BTreeSet<u64>>,
+) -> Result<(), CheckerError> {
+    for (i, pair) in log.windows(2).enumerate() {
+        if pair[1].zxid <= pair[0].zxid {
+            if pair[1].zxid == pair[0].zxid {
+                return Err(CheckerError::Duplicate { node, index: i + 1 });
+            }
+            return Err(CheckerError::OutOfOrder { node, index: i + 1 });
+        }
+    }
+    // Epoch contiguity: counters within each epoch are 1,2,3,... in order.
+    let mut prev: Option<zab_core::Zxid> = None;
+    for (i, e) in log.iter().enumerate() {
+        let z = e.zxid;
+        match prev {
+            Some(p) if p.epoch() == z.epoch() => {
+                if z.counter() != p.counter() + 1 {
+                    return Err(CheckerError::EpochGap {
+                        node,
+                        index: i,
+                        detail: format!("{} follows {}", z, p),
+                    });
+                }
+            }
+            _ => {
+                if z.counter() != 1 {
+                    return Err(CheckerError::EpochGap {
+                        node,
+                        index: i,
+                        detail: format!("epoch {} starts at counter {}", z.epoch(), z.counter()),
+                    });
+                }
+            }
+        }
+        prev = Some(z);
+    }
+    if let Some(known) = broadcast_hashes {
+        for (i, e) in log.iter().enumerate() {
+            if !known.contains(&e.hash) {
+                return Err(CheckerError::ForeignPayload { node, index: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `a`'s and `b`'s logs are prefix-compatible and agree on
+/// content.
+pub fn check_pairwise(
+    (a, log_a): (ServerId, &[Applied]),
+    (b, log_b): (ServerId, &[Applied]),
+) -> Result<(), CheckerError> {
+    let n = log_a.len().min(log_b.len());
+    for i in 0..n {
+        if log_a[i].zxid != log_b[i].zxid {
+            return Err(CheckerError::Divergence {
+                a,
+                b,
+                index: i,
+                detail: format!("zxid {} vs {}", log_a[i].zxid, log_b[i].zxid),
+            });
+        }
+        if log_a[i].hash != log_b[i].hash {
+            return Err(CheckerError::Divergence {
+                a,
+                b,
+                index: i,
+                detail: format!("payloads differ at zxid {}", log_a[i].zxid),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs all checks over every node's applied log.
+///
+/// `broadcast_hashes`, when provided, enables the integrity check.
+pub fn check_all(
+    logs: &[(ServerId, &[Applied])],
+    broadcast_hashes: Option<&BTreeSet<u64>>,
+) -> Result<(), CheckerError> {
+    for &(node, log) in logs {
+        check_local(node, log, broadcast_hashes)?;
+    }
+    for (i, &a) in logs.iter().enumerate() {
+        for &b in &logs[i + 1..] {
+            check_pairwise(a, b)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zab_core::{Epoch, Zxid};
+
+    fn e(ep: u32, c: u32, h: u64) -> Applied {
+        Applied { zxid: Zxid::new(Epoch(ep), c), hash: h }
+    }
+
+    #[test]
+    fn clean_logs_pass() {
+        let a = vec![e(1, 1, 10), e(1, 2, 20), e(2, 1, 30)];
+        let b = vec![e(1, 1, 10), e(1, 2, 20)];
+        check_all(&[(ServerId(1), &a), (ServerId(2), &b)], None).unwrap();
+    }
+
+    #[test]
+    fn divergent_content_detected() {
+        let a = vec![e(1, 1, 10)];
+        let b = vec![e(1, 1, 99)];
+        let err = check_all(&[(ServerId(1), &a), (ServerId(2), &b)], None).unwrap_err();
+        assert!(matches!(err, CheckerError::Divergence { .. }));
+    }
+
+    #[test]
+    fn divergent_zxids_detected() {
+        let a = vec![e(1, 1, 10), e(1, 2, 20)];
+        let b = vec![e(1, 1, 10), e(2, 1, 20)];
+        let err = check_all(&[(ServerId(1), &a), (ServerId(2), &b)], None).unwrap_err();
+        assert!(matches!(err, CheckerError::Divergence { index: 1, .. }));
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let a = vec![e(1, 2, 10), e(1, 1, 20)];
+        let err = check_local(ServerId(1), &a, None).unwrap_err();
+        assert!(matches!(err, CheckerError::OutOfOrder { index: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let a = vec![e(1, 1, 10), e(1, 1, 10)];
+        let err = check_local(ServerId(1), &a, None).unwrap_err();
+        assert!(matches!(err, CheckerError::Duplicate { index: 1, .. }));
+    }
+
+    #[test]
+    fn epoch_gap_detected() {
+        let a = vec![e(1, 1, 10), e(1, 3, 20)];
+        let err = check_local(ServerId(1), &a, None).unwrap_err();
+        assert!(matches!(err, CheckerError::EpochGap { index: 1, .. }));
+    }
+
+    #[test]
+    fn epoch_not_starting_at_one_detected() {
+        let a = vec![e(1, 1, 10), e(2, 2, 20)];
+        let err = check_local(ServerId(1), &a, None).unwrap_err();
+        assert!(matches!(err, CheckerError::EpochGap { index: 1, .. }));
+    }
+
+    #[test]
+    fn foreign_payload_detected() {
+        let a = vec![e(1, 1, 10)];
+        let known: BTreeSet<u64> = [20u64].into_iter().collect();
+        let err = check_local(ServerId(1), &a, Some(&known)).unwrap_err();
+        assert!(matches!(err, CheckerError::ForeignPayload { index: 0, .. }));
+    }
+
+    #[test]
+    fn later_epoch_after_earlier_is_fine_with_counter_reset() {
+        let a = vec![e(1, 1, 1), e(1, 2, 2), e(3, 1, 3), e(3, 2, 4)];
+        check_local(ServerId(1), &a, None).unwrap();
+    }
+}

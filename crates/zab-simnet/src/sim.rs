@@ -1,0 +1,862 @@
+//! The discrete-event simulation engine.
+//!
+//! See the crate docs for what is modeled. The engine is strictly
+//! deterministic: a seed fully determines a run, including fault timing,
+//! link latencies, and event tie-breaking (events are ordered by
+//! `(time, sequence-number)`).
+
+use crate::app::{payload_hash, ReplicatedLog};
+use crate::checker::{check_all, CheckerError};
+use crate::stats::{OpRecord, SimStats};
+use crate::workload::{op_id_of, op_payload, ClosedLoopSpec, OpenLoopSpec};
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use zab_core::{
+    Action, ClusterConfig, Input, Message, PersistToken, ServerId, Zab,
+};
+use zab_election::{
+    Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote,
+};
+use zab_log::{MemStorage, Storage};
+
+/// What travels on a simulated link.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// A Zab protocol message.
+    Zab(Message),
+    /// A Fast Leader Election notification.
+    Election(Notification),
+}
+
+/// Event kinds, exposed for trace inspection in tests.
+#[derive(Debug, Clone)]
+pub enum SimEventKind {
+    /// Periodic clock tick for one node.
+    Tick { node: ServerId, incarnation: u64 },
+    /// Message arrival.
+    Deliver { from: ServerId, to: ServerId, wire: Wire, link_epoch: u64, size: usize },
+    /// A disk flush completed.
+    FlushDone { node: ServerId, incarnation: u64 },
+    /// A TCP-level disconnect notice.
+    Disconnect { node: ServerId, peer: ServerId },
+    /// The workload issues (or re-issues) an operation.
+    Issue { op_id: u64 },
+    /// The workload checks an operation for timeout.
+    OpTimeout { op_id: u64 },
+}
+
+struct EventEntry {
+    time_us: u64,
+    seq: u64,
+    kind: SimEventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        (other.time_us, other.seq).cmp(&(self.time_us, self.seq))
+    }
+}
+
+/// A simulated process: storage + election + protocol automaton + app.
+struct Node {
+    up: bool,
+    incarnation: u64,
+    storage: MemStorage,
+    election: Option<Election>,
+    zab: Option<Zab>,
+    app: ReplicatedLog,
+    /// Disk: tokens applied but not yet covered by a started flush.
+    pending_tokens: Vec<PersistToken>,
+    /// Max token covered by the in-flight flush, if one is running.
+    flushing_token: Option<PersistToken>,
+    /// Deliveries since the last log compaction.
+    delivered_since_compact: u64,
+}
+
+enum LocalInput {
+    Zab(Input),
+    Election(ElectionInput),
+}
+
+/// Closed- or open-loop workload state.
+enum Workload {
+    Closed(ClosedLoopSpec),
+    Open(OpenLoopSpec),
+}
+
+/// Configures and builds a [`Sim`].
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    n: u64,
+    seed: u64,
+    latency_us: (u64, u64),
+    egress_bytes_per_us: Option<f64>,
+    flush_latency_us: u64,
+    tick_interval_us: u64,
+    disconnect_detect_us: u64,
+    max_outstanding: usize,
+    snap_threshold: u64,
+    ping_interval_ms: u64,
+    follower_timeout_ms: u64,
+    leader_timeout_ms: u64,
+    compact_every: Option<u64>,
+}
+
+impl SimBuilder {
+    /// A cluster of `n` servers with LAN-like defaults: 100–200 µs one-way
+    /// latency, 1 Gb/s (125 B/µs) node egress, 1 ms disk flush.
+    pub fn new(n: u64) -> SimBuilder {
+        SimBuilder {
+            n,
+            seed: 42,
+            latency_us: (100, 200),
+            egress_bytes_per_us: Some(125.0),
+            flush_latency_us: 1_000,
+            tick_interval_us: 1_000,
+            disconnect_detect_us: 10_000,
+            max_outstanding: 1000,
+            snap_threshold: 100_000,
+            ping_interval_ms: 50,
+            follower_timeout_ms: 400,
+            leader_timeout_ms: 400,
+            compact_every: None,
+        }
+    }
+
+    /// RNG seed; a seed fully determines the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// One-way link latency range in microseconds (uniform).
+    pub fn latency_us(mut self, min: u64, max: u64) -> Self {
+        assert!(min <= max);
+        self.latency_us = (min, max);
+        self
+    }
+
+    /// Node egress bandwidth in bytes/µs (`None` = infinite).
+    pub fn egress_bandwidth(mut self, bytes_per_us: Option<f64>) -> Self {
+        self.egress_bytes_per_us = bytes_per_us;
+        self
+    }
+
+    /// Disk flush latency in microseconds.
+    pub fn flush_latency_us(mut self, us: u64) -> Self {
+        self.flush_latency_us = us;
+        self
+    }
+
+    /// Leader pipelining window (the paper's outstanding-transactions knob).
+    pub fn max_outstanding(mut self, n: usize) -> Self {
+        self.max_outstanding = n;
+        self
+    }
+
+    /// DIFF-vs-SNAP threshold (transactions).
+    pub fn snap_threshold(mut self, n: u64) -> Self {
+        self.snap_threshold = n;
+        self
+    }
+
+    /// Compact the log into a snapshot every `k` deliveries per node
+    /// (ZooKeeper's periodic snapshotting); `None` disables.
+    pub fn compact_every(mut self, k: Option<u64>) -> Self {
+        self.compact_every = k;
+        self
+    }
+
+    /// Failure-detection timeouts, in milliseconds.
+    pub fn timeouts_ms(mut self, follower: u64, leader: u64, ping: u64) -> Self {
+        self.follower_timeout_ms = follower;
+        self.leader_timeout_ms = leader;
+        self.ping_interval_ms = ping;
+        self
+    }
+
+    /// Builds the simulator and boots every node (storage empty, elections
+    /// begin at t=0).
+    pub fn build(self) -> Sim {
+        let ids: Vec<ServerId> = (1..=self.n).map(ServerId).collect();
+        let mut cluster = ClusterConfig::majority(ids.clone());
+        cluster.max_outstanding = self.max_outstanding;
+        cluster.snap_threshold = self.snap_threshold;
+        cluster.ping_interval_ms = self.ping_interval_ms;
+        cluster.follower_timeout_ms = self.follower_timeout_ms;
+        cluster.leader_timeout_ms = self.leader_timeout_ms;
+        let election_cfg = ElectionConfig::new(ids.clone());
+        let mut sim = Sim {
+            cfg: self.clone(),
+            cluster,
+            election_cfg,
+            now_us: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            groups: ids.iter().map(|&id| (id, 0)).collect(),
+            link_epochs: BTreeMap::new(),
+            link_last_arrival: BTreeMap::new(),
+            egress_free: ids.iter().map(|&id| (id, 0)).collect(),
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            stats: SimStats::default(),
+            broadcast_hashes: BTreeSet::new(),
+            workload: None,
+            wl_next_op: 0,
+            wl_issued: 0,
+            wl_in_flight: BTreeMap::new(),
+        };
+        for &id in &ids {
+            sim.nodes.insert(
+                id,
+                Node {
+                    up: true,
+                    incarnation: 0,
+                    storage: MemStorage::new(),
+                    election: None,
+                    zab: None,
+                    app: ReplicatedLog::new(),
+                    pending_tokens: Vec::new(),
+                    flushing_token: None,
+                    delivered_since_compact: 0,
+                },
+            );
+        }
+        for &id in &ids {
+            sim.boot_node(id);
+        }
+        sim
+    }
+}
+
+/// The deterministic cluster simulator. Construct via [`SimBuilder`].
+pub struct Sim {
+    cfg: SimBuilder,
+    cluster: ClusterConfig,
+    election_cfg: ElectionConfig,
+    now_us: u64,
+    seq: u64,
+    events: BinaryHeap<EventEntry>,
+    nodes: BTreeMap<ServerId, Node>,
+    /// Partition group per node; connected iff equal groups.
+    groups: BTreeMap<ServerId, u32>,
+    /// Per ordered pair: connection incarnation (bumped on any cut).
+    link_epochs: BTreeMap<(ServerId, ServerId), u64>,
+    /// Per ordered pair: last scheduled arrival (FIFO enforcement).
+    link_last_arrival: BTreeMap<(ServerId, ServerId), u64>,
+    /// Per node: when its NIC egress becomes free.
+    egress_free: BTreeMap<ServerId, u64>,
+    rng: ChaCha8Rng,
+    stats: SimStats,
+    /// Payload hashes of everything clients submitted (for the checker).
+    broadcast_hashes: BTreeSet<u64>,
+    workload: Option<Workload>,
+    wl_next_op: u64,
+    wl_issued: u64,
+    /// op id → issue time.
+    wl_in_flight: BTreeMap<u64, u64>,
+}
+
+impl Sim {
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Ensemble member ids.
+    pub fn members(&self) -> Vec<ServerId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The established leader with the highest epoch, if any.
+    pub fn leader(&self) -> Option<ServerId> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.up)
+            .filter_map(|(&id, n)| match &n.zab {
+                Some(Zab::Leader(l)) if l.is_established() => Some((l.epoch(), id)),
+                _ => None,
+            })
+            .max()
+            .map(|(_, id)| id)
+    }
+
+    /// The applied log of a node.
+    pub fn applied_log(&self, id: ServerId) -> &[crate::app::Applied] {
+        self.nodes[&id].app.entries()
+    }
+
+    /// Runs until `deadline_us`, or the event queue empties.
+    pub fn run_until(&mut self, deadline_us: u64) {
+        while let Some(e) = self.events.peek() {
+            if e.time_us > deadline_us {
+                break;
+            }
+            let e = self.events.pop().expect("peeked");
+            self.now_us = e.time_us;
+            self.process_event(e.kind);
+        }
+        self.now_us = self.now_us.max(deadline_us);
+    }
+
+    /// Runs for `dur_us` of virtual time.
+    pub fn run_for(&mut self, dur_us: u64) {
+        let deadline = self.now_us + dur_us;
+        self.run_until(deadline);
+    }
+
+    /// Runs until an established leader exists (checking at 1 ms
+    /// granularity); returns it, or `None` if `deadline_us` passes first.
+    pub fn run_until_leader(&mut self, deadline_us: u64) -> Option<ServerId> {
+        loop {
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+            if self.now_us >= deadline_us || self.events.is_empty() {
+                return None;
+            }
+            let step = (self.now_us + 1_000).min(deadline_us);
+            self.run_until(step);
+        }
+    }
+
+    /// Runs until the workload completed `target` operations (checking at
+    /// 1 ms granularity); returns false if `deadline_us` passes first.
+    pub fn run_until_completed(&mut self, target: u64, deadline_us: u64) -> bool {
+        loop {
+            if self.stats.ops.len() as u64 >= target {
+                return true;
+            }
+            if self.now_us >= deadline_us || self.events.is_empty() {
+                return false;
+            }
+            let step = (self.now_us + 1_000).min(deadline_us);
+            self.run_until(step);
+        }
+    }
+
+    /// Submits one client operation to `node` (tests and fault scenarios;
+    /// benches use workloads).
+    pub fn submit(&mut self, node: ServerId, data: Vec<u8>) {
+        self.broadcast_hashes.insert(payload_hash(&data));
+        self.feed(node, LocalInput::Zab(Input::ClientRequest { data: Bytes::from(data) }));
+    }
+
+    /// Installs a closed-loop workload and schedules its first issues.
+    pub fn install_closed_loop(&mut self, spec: ClosedLoopSpec) {
+        self.workload = Some(Workload::Closed(spec));
+        self.wl_next_op = 0;
+        self.wl_issued = 0;
+        for _ in 0..spec.clients.min(spec.total_ops as usize) {
+            let op = self.wl_next_op;
+            self.wl_next_op += 1;
+            self.schedule(0, SimEventKind::Issue { op_id: op });
+        }
+    }
+
+    /// Installs an open-loop workload and schedules every issue up front.
+    pub fn install_open_loop(&mut self, spec: OpenLoopSpec) {
+        self.workload = Some(Workload::Open(spec));
+        self.wl_next_op = spec.total_ops;
+        for op in 0..spec.total_ops {
+            self.schedule(op * spec.interval_us, SimEventKind::Issue { op_id: op });
+        }
+    }
+
+    /// Crashes a node: unflushed writes are lost; peers notice after the
+    /// detection delay.
+    pub fn crash(&mut self, id: ServerId) {
+        let node = self.nodes.get_mut(&id).expect("known node");
+        if !node.up {
+            return;
+        }
+        node.up = false;
+        node.incarnation += 1;
+        node.storage.crash();
+        node.zab = None;
+        node.election = None;
+        node.pending_tokens.clear();
+        node.flushing_token = None;
+        let peers: Vec<ServerId> = self.nodes.keys().copied().filter(|&p| p != id).collect();
+        for p in peers {
+            self.cut_link(id, p);
+        }
+    }
+
+    /// Restarts a crashed node: recover storage, rejoin via election.
+    pub fn restart(&mut self, id: ServerId) {
+        let node = self.nodes.get_mut(&id).expect("known node");
+        if node.up {
+            return;
+        }
+        node.up = true;
+        node.app = ReplicatedLog::new();
+        self.boot_node(id);
+    }
+
+    /// Partitions the ensemble: `groups[i]` lists the members of group `i`;
+    /// unlisted nodes form their own singleton groups.
+    pub fn partition(&mut self, groups: &[&[u64]]) {
+        let mut assignment: BTreeMap<ServerId, u32> = BTreeMap::new();
+        for (gi, members) in groups.iter().enumerate() {
+            for &m in *members {
+                assignment.insert(ServerId(m), gi as u32);
+            }
+        }
+        let mut next = groups.len() as u32;
+        let ids: Vec<ServerId> = self.nodes.keys().copied().collect();
+        for id in &ids {
+            assignment.entry(*id).or_insert_with(|| {
+                let g = next;
+                next += 1;
+                g
+            });
+        }
+        // Cut every pair that the new assignment separates.
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let was = self.groups[&a] == self.groups[&b];
+                let is = assignment[&a] == assignment[&b];
+                if was && !is {
+                    self.cut_link(a, b);
+                    self.cut_link(b, a);
+                }
+            }
+        }
+        self.groups = assignment;
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        let ids: Vec<ServerId> = self.nodes.keys().copied().collect();
+        self.groups = ids.into_iter().map(|id| (id, 0)).collect();
+    }
+
+    /// Runs the full PO-atomic-broadcast safety checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CheckerError`] found; any error is an
+    /// implementation bug.
+    pub fn check_invariants(&self) -> Result<(), CheckerError> {
+        let logs: Vec<(ServerId, &[crate::app::Applied])> = self
+            .nodes
+            .iter()
+            .map(|(&id, n)| (id, n.app.entries()))
+            .collect();
+        check_all(&logs, Some(&self.broadcast_hashes))
+    }
+
+    /// Asserts that all *up* nodes converged to identical applied logs
+    /// (run after healing + settling).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence in lengths.
+    pub fn check_converged(&self) -> Result<(), String> {
+        let lens: BTreeMap<ServerId, usize> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.up)
+            .map(|(&id, n)| (id, n.app.len()))
+            .collect();
+        let mut values: Vec<usize> = lens.values().copied().collect();
+        values.dedup();
+        if values.len() > 1 {
+            return Err(format!("applied-log lengths diverge: {lens:?}"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, delay_us: u64, kind: SimEventKind) {
+        self.seq += 1;
+        self.events.push(EventEntry { time_us: self.now_us + delay_us, seq: self.seq, kind });
+    }
+
+    fn boot_node(&mut self, id: ServerId) {
+        let node = self.nodes.get_mut(&id).expect("known node");
+        let rec = node.storage.recover().expect("mem storage recovers");
+        let vote = Vote {
+            peer_epoch: rec.current_epoch,
+            last_zxid: rec.history.last_zxid(),
+            leader: id,
+        };
+        let now_ms = self.now_us / 1_000;
+        let (election, acts) = Election::new(id, self.election_cfg.clone(), vote, now_ms);
+        node.election = Some(election);
+        let incarnation = node.incarnation;
+        self.stats.elections_started += 1;
+        self.route_election_actions(id, acts);
+        self.schedule(self.cfg.tick_interval_us, SimEventKind::Tick { node: id, incarnation });
+    }
+
+    fn connected(&self, a: ServerId, b: ServerId) -> bool {
+        self.nodes[&a].up && self.nodes[&b].up && self.groups[&a] == self.groups[&b]
+    }
+
+    fn cut_link(&mut self, a: ServerId, b: ServerId) {
+        *self.link_epochs.entry((a, b)).or_insert(0) += 1;
+        *self.link_epochs.entry((b, a)).or_insert(0) += 1;
+        // The surviving endpoints learn of the broken connection after the
+        // detection delay (TCP reset / keepalive).
+        self.schedule(self.cfg.disconnect_detect_us, SimEventKind::Disconnect { node: b, peer: a });
+        self.schedule(self.cfg.disconnect_detect_us, SimEventKind::Disconnect { node: a, peer: b });
+    }
+
+    fn wire_size(wire: &Wire) -> usize {
+        const FRAME: usize = 8;
+        let body = match wire {
+            Wire::Election(_) => 29,
+            Wire::Zab(msg) => match msg {
+                Message::FollowerInfo { .. } | Message::AckEpoch { .. } => 13,
+                Message::NewEpoch { .. } | Message::NewLeader { .. } => 5,
+                Message::AckNewLeader { .. } => 13,
+                Message::UpToDate { .. }
+                | Message::Ack { .. }
+                | Message::Commit { .. }
+                | Message::Ping { .. }
+                | Message::Pong { .. } => 9,
+                Message::Propose { txn } => 13 + txn.data.len(),
+                Message::SyncDiff { txns } => {
+                    5 + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
+                }
+                Message::SyncTrunc { txns, .. } => {
+                    13 + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
+                }
+                Message::SyncSnap { snapshot, txns, .. } => {
+                    13 + snapshot.len()
+                        + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
+                }
+            },
+        };
+        FRAME + body
+    }
+
+    fn send(&mut self, from: ServerId, to: ServerId, wire: Wire) {
+        if !self.connected(from, to) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let size = Self::wire_size(&wire);
+        let start = self.now_us.max(self.egress_free[&from]);
+        let ser_us = match self.cfg.egress_bytes_per_us {
+            Some(bw) => (size as f64 / bw).ceil() as u64,
+            None => 0,
+        };
+        let egress_done = start + ser_us;
+        self.egress_free.insert(from, egress_done);
+        let (lo, hi) = self.cfg.latency_us;
+        let latency = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+        let mut arrival = egress_done + latency;
+        // FIFO per link: arrivals never reorder.
+        let last = self.link_last_arrival.entry((from, to)).or_insert(0);
+        if arrival <= *last {
+            arrival = *last + 1;
+        }
+        *last = arrival;
+        let link_epoch = *self.link_epochs.entry((from, to)).or_insert(0);
+        self.seq += 1;
+        self.events.push(EventEntry {
+            time_us: arrival,
+            seq: self.seq,
+            kind: SimEventKind::Deliver { from, to, wire, link_epoch, size },
+        });
+    }
+
+    fn process_event(&mut self, kind: SimEventKind) {
+        match kind {
+            SimEventKind::Tick { node, incarnation } => {
+                let Some(n) = self.nodes.get(&node) else { return };
+                if !n.up || n.incarnation != incarnation {
+                    return;
+                }
+                let now_ms = self.now_us / 1_000;
+                self.feed(node, LocalInput::Election(ElectionInput::Tick { now_ms }));
+                self.feed(node, LocalInput::Zab(Input::Tick { now_ms }));
+                self.schedule(self.cfg.tick_interval_us, SimEventKind::Tick { node, incarnation });
+            }
+            SimEventKind::Deliver { from, to, wire, link_epoch, size } => {
+                let current = *self.link_epochs.get(&(from, to)).unwrap_or(&0);
+                if current != link_epoch || !self.connected(from, to) {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.stats.bytes_delivered += size as u64;
+                match wire {
+                    Wire::Zab(msg) => {
+                        self.feed(to, LocalInput::Zab(Input::Message { from, msg }))
+                    }
+                    Wire::Election(notification) => self.feed(
+                        to,
+                        LocalInput::Election(ElectionInput::Notification { from, notification }),
+                    ),
+                }
+            }
+            SimEventKind::FlushDone { node, incarnation } => {
+                let Some(n) = self.nodes.get_mut(&node) else { return };
+                if !n.up || n.incarnation != incarnation {
+                    return;
+                }
+                n.storage.flush().expect("mem storage flush");
+                self.stats.flushes += 1;
+                let token = n.flushing_token.take().expect("flush was in flight");
+                // Start the next group flush if writes accumulated.
+                if !n.pending_tokens.is_empty() {
+                    let max = *n.pending_tokens.iter().max().expect("nonempty");
+                    n.pending_tokens.clear();
+                    n.flushing_token = Some(max);
+                    self.schedule(
+                        self.cfg.flush_latency_us,
+                        SimEventKind::FlushDone { node, incarnation },
+                    );
+                }
+                self.feed(node, LocalInput::Zab(Input::Persisted { token }));
+            }
+            SimEventKind::Disconnect { node, peer } => {
+                let Some(n) = self.nodes.get(&node) else { return };
+                if !n.up {
+                    return;
+                }
+                self.feed(node, LocalInput::Zab(Input::PeerDisconnected { peer }));
+            }
+            SimEventKind::Issue { op_id } => self.workload_issue(op_id),
+            SimEventKind::OpTimeout { op_id } => {
+                if self.wl_in_flight.contains_key(&op_id) {
+                    // Not completed in time (leader died mid-flight):
+                    // re-issue.
+                    self.workload_issue(op_id);
+                }
+            }
+        }
+    }
+
+    /// Feeds a local input to a node's automata, routing resulting actions
+    /// (and their cascading local inputs) to completion.
+    fn feed(&mut self, id: ServerId, input: LocalInput) {
+        let mut inbox: VecDeque<(ServerId, LocalInput)> = VecDeque::new();
+        inbox.push_back((id, input));
+        while let Some((nid, li)) = inbox.pop_front() {
+            let Some(node) = self.nodes.get_mut(&nid) else { continue };
+            if !node.up {
+                continue;
+            }
+            match li {
+                LocalInput::Zab(i) => {
+                    let Some(zab) = node.zab.as_mut() else { continue };
+                    let acts = zab.handle(i);
+                    self.route_zab_actions(nid, acts, &mut inbox);
+                }
+                LocalInput::Election(i) => {
+                    let Some(el) = node.election.as_mut() else { continue };
+                    let acts = el.handle(i);
+                    self.route_election_actions_inner(nid, acts, &mut inbox);
+                }
+            }
+        }
+    }
+
+    fn route_election_actions(&mut self, id: ServerId, acts: Vec<ElectionAction>) {
+        let mut inbox = VecDeque::new();
+        self.route_election_actions_inner(id, acts, &mut inbox);
+        while let Some((nid, li)) = inbox.pop_front() {
+            // Cascade through feed's loop body by re-entering feed.
+            self.feed(nid, li);
+        }
+    }
+
+    fn route_election_actions_inner(
+        &mut self,
+        id: ServerId,
+        acts: Vec<ElectionAction>,
+        inbox: &mut VecDeque<(ServerId, LocalInput)>,
+    ) {
+        for a in acts {
+            match a {
+                ElectionAction::Send { to, notification } => {
+                    self.send(id, to, Wire::Election(notification));
+                }
+                ElectionAction::Decided { leader } => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    let rec = node.storage.recover().expect("mem storage recovers");
+                    // After a crash the application restarts from the
+                    // durable snapshot; without one it keeps its live state
+                    // and delivery resumes after it.
+                    if node.app.last_zxid() < rec.history.base() {
+                        let snap = rec.snapshot.clone().expect("base > 0 implies snapshot");
+                        node.app.install(&snap);
+                    }
+                    let applied_to = node.app.last_zxid();
+                    let now_ms = self.now_us / 1_000;
+                    let (zab, acts) = Zab::from_election(
+                        id,
+                        leader,
+                        self.cluster.clone(),
+                        rec.into_persistent_state(),
+                        applied_to,
+                        now_ms,
+                    );
+                    node.zab = Some(zab);
+                    self.route_zab_actions(id, acts, inbox);
+                }
+            }
+        }
+    }
+
+    fn route_zab_actions(
+        &mut self,
+        id: ServerId,
+        acts: Vec<Action>,
+        inbox: &mut VecDeque<(ServerId, LocalInput)>,
+    ) {
+        for a in acts {
+            match a {
+                Action::Send { to, msg } => self.send(id, to, Wire::Zab(msg)),
+                Action::Persist { token, req } => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    node.storage.apply(&req).expect("simulated storage accepts");
+                    if node.flushing_token.is_none() {
+                        node.flushing_token = Some(token);
+                        let incarnation = node.incarnation;
+                        self.schedule(
+                            self.cfg.flush_latency_us,
+                            SimEventKind::FlushDone { node: id, incarnation },
+                        );
+                    } else {
+                        node.pending_tokens.push(token);
+                    }
+                }
+                Action::Deliver { txn } => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    node.app.apply(&txn);
+                    node.delivered_since_compact += 1;
+                    if let Some(every) = self.cfg.compact_every {
+                        if node.delivered_since_compact >= every {
+                            node.delivered_since_compact = 0;
+                            let snapshot = node.app.snapshot();
+                            let through = node.app.last_zxid();
+                            node.storage
+                                .compact(&snapshot, through)
+                                .expect("mem storage compacts");
+                            inbox.push_back((id, LocalInput::Zab(Input::Compact { through })));
+                        }
+                    }
+                    self.workload_on_delivered(id, &txn);
+                }
+                Action::InstallSnapshot { snapshot, .. } => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    node.app.install(&snapshot);
+                }
+                Action::TakeSnapshot => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    let snapshot = Bytes::from(node.app.snapshot());
+                    let zxid = node.app.last_zxid();
+                    inbox.push_back((id, LocalInput::Zab(Input::SnapshotReady { snapshot, zxid })));
+                }
+                Action::GoToElection { .. } => {
+                    let node = self.nodes.get_mut(&id).expect("known node");
+                    node.zab = None;
+                    let rec = node.storage.recover().expect("mem storage recovers");
+                    let now_ms = self.now_us / 1_000;
+                    let el = node.election.as_mut().expect("election exists");
+                    let acts = el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
+                    self.stats.elections_started += 1;
+                    self.route_election_actions_inner(id, acts, inbox);
+                }
+                Action::Activated { .. } => {
+                    let node = self.nodes.get(&id).expect("known node");
+                    if matches!(&node.zab, Some(Zab::Leader(_))) {
+                        self.stats.establishments += 1;
+                    }
+                }
+                Action::Committed { .. } => {}
+                Action::ClientRequestRejected { data, .. } => {
+                    self.stats.rejections += 1;
+                    self.workload_on_rejected(&data);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload plumbing
+    // ------------------------------------------------------------------
+
+    fn workload_issue(&mut self, op_id: u64) {
+        let Some(wl) = &self.workload else { return };
+        let (payload_size, retry, timeout) = match wl {
+            Workload::Closed(s) => (s.payload_size, s.retry_delay_us, s.op_timeout_us),
+            Workload::Open(s) => (s.payload_size, s.retry_delay_us, None),
+        };
+        let Some(leader) = self.leader() else {
+            self.schedule(retry, SimEventKind::Issue { op_id });
+            return;
+        };
+        let data = op_payload(op_id, payload_size);
+        self.broadcast_hashes.insert(payload_hash(&data));
+        self.wl_in_flight.entry(op_id).or_insert(self.now_us);
+        self.wl_issued += 1;
+        if let Some(t) = timeout {
+            self.schedule(t, SimEventKind::OpTimeout { op_id });
+        }
+        self.feed(leader, LocalInput::Zab(Input::ClientRequest { data: Bytes::from(data) }));
+    }
+
+    /// Called on every delivery; completes workload ops on their first
+    /// delivery anywhere (the leader delivers at commit time).
+    fn workload_on_delivered(&mut self, _node: ServerId, txn: &zab_core::Txn) {
+        if self.workload.is_none() {
+            return;
+        }
+        let Some(op_id) = op_id_of(&txn.data) else { return };
+        let Some(issued_us) = self.wl_in_flight.remove(&op_id) else { return };
+        self.stats.ops.push(OpRecord { op_id, issued_us, completed_us: self.now_us });
+        // Closed loop: this client issues its next operation.
+        if let Some(Workload::Closed(spec)) = &self.workload {
+            if self.wl_next_op < spec.total_ops {
+                let op = self.wl_next_op;
+                self.wl_next_op += 1;
+                self.schedule(0, SimEventKind::Issue { op_id: op });
+            }
+        }
+    }
+
+    fn workload_on_rejected(&mut self, data: &[u8]) {
+        let Some(wl) = &self.workload else { return };
+        let retry = match wl {
+            Workload::Closed(s) => s.retry_delay_us,
+            Workload::Open(s) => s.retry_delay_us,
+        };
+        let Some(op_id) = op_id_of(data) else { return };
+        if self.wl_in_flight.remove(&op_id).is_some() {
+            self.schedule(retry, SimEventKind::Issue { op_id });
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Workload specifications for the simulator.
+//!
+//! Two classic generators:
+//!
+//! - [`ClosedLoopSpec`] — `clients` independent clients, each with one
+//!   operation outstanding: the generator the paper's saturation
+//!   experiments use (offered load scales with the client count).
+//! - [`OpenLoopSpec`] — operations issued at a fixed rate regardless of
+//!   completions: used for latency-vs-offered-load sweeps.
+//!
+//! Operations are opaque payloads whose first 8 bytes carry the operation
+//! id; the remainder is zero padding up to `payload_size` (matching the
+//! paper's fixed-size write workloads).
+
+/// Closed-loop workload: a fixed population of clients, one outstanding
+/// operation each.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosedLoopSpec {
+    /// Number of concurrent clients (each keeps one op in flight).
+    pub clients: usize,
+    /// Bytes per operation payload (min 8, for the op id).
+    pub payload_size: usize,
+    /// Total operations to complete before the workload stops issuing.
+    pub total_ops: u64,
+    /// Delay before reissuing after a rejection or missing leader (µs).
+    pub retry_delay_us: u64,
+    /// Reissue an operation not completed within this window (µs);
+    /// `None` disables (use `None` unless the run injects faults).
+    pub op_timeout_us: Option<u64>,
+}
+
+impl ClosedLoopSpec {
+    /// A saturation workload: `clients` clients, `payload_size`-byte ops,
+    /// `total_ops` operations, 5 ms retry, no op timeout.
+    pub fn saturating(clients: usize, payload_size: usize, total_ops: u64) -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            clients,
+            payload_size: payload_size.max(8),
+            total_ops,
+            retry_delay_us: 5_000,
+            op_timeout_us: None,
+        }
+    }
+}
+
+/// Open-loop workload: fixed issue rate.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopSpec {
+    /// Microseconds between consecutive issues.
+    pub interval_us: u64,
+    /// Bytes per operation payload (min 8).
+    pub payload_size: usize,
+    /// Total operations to issue.
+    pub total_ops: u64,
+    /// Delay before re-trying an issue that found no leader (µs).
+    pub retry_delay_us: u64,
+}
+
+impl OpenLoopSpec {
+    /// An open-loop workload issuing `rate_per_sec` ops/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is 0.
+    pub fn at_rate(rate_per_sec: u64, payload_size: usize, total_ops: u64) -> OpenLoopSpec {
+        assert!(rate_per_sec > 0, "rate must be positive");
+        OpenLoopSpec {
+            interval_us: 1_000_000 / rate_per_sec,
+            payload_size: payload_size.max(8),
+            total_ops,
+            retry_delay_us: 5_000,
+        }
+    }
+}
+
+/// Builds an operation payload: op id, then zero padding.
+pub(crate) fn op_payload(op_id: u64, payload_size: usize) -> Vec<u8> {
+    let mut data = vec![0u8; payload_size.max(8)];
+    data[..8].copy_from_slice(&op_id.to_le_bytes());
+    data
+}
+
+/// Extracts the op id from a payload (first 8 bytes).
+pub(crate) fn op_id_of(data: &[u8]) -> Option<u64> {
+    data.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trips_op_id() {
+        let p = op_payload(0xDEAD_BEEF_CAFE, 64);
+        assert_eq!(p.len(), 64);
+        assert_eq!(op_id_of(&p), Some(0xDEAD_BEEF_CAFE));
+    }
+
+    #[test]
+    fn payload_is_at_least_eight_bytes() {
+        assert_eq!(op_payload(1, 0).len(), 8);
+    }
+
+    #[test]
+    fn open_loop_rate_conversion() {
+        let spec = OpenLoopSpec::at_rate(1000, 100, 10);
+        assert_eq!(spec.interval_us, 1000);
+    }
+
+    #[test]
+    fn short_payload_has_no_id() {
+        assert_eq!(op_id_of(&[1, 2, 3]), None);
+    }
+}

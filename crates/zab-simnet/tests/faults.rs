@@ -1,0 +1,288 @@
+//! Fault-injection tests on the deterministic simulator: every run ends
+//! with the full PO-atomic-broadcast safety check.
+
+use zab_simnet::{ClosedLoopSpec, SimBuilder};
+
+const SEC: u64 = 1_000_000;
+
+#[test]
+fn bootstrap_elects_and_establishes() {
+    let mut sim = SimBuilder::new(3).seed(1).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    assert!(sim.members().contains(&leader));
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn bootstrap_all_ensemble_sizes() {
+    for n in [1, 2, 3, 5, 7, 9, 13] {
+        let mut sim = SimBuilder::new(n).seed(n).build();
+        let leader = sim.run_until_leader(20 * SEC);
+        assert!(leader.is_some(), "no leader for n={n}");
+        sim.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn same_seed_same_run() {
+    let run = |seed: u64| {
+        let mut sim = SimBuilder::new(5).seed(seed).build();
+        sim.run_until_leader(10 * SEC).expect("leader");
+        sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 200));
+        sim.run_until_completed(200, 30 * SEC);
+        (
+            sim.now_us(),
+            sim.stats().messages_delivered,
+            sim.stats().ops.len(),
+            sim.leader(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+    // And a different seed takes a different trajectory.
+    assert_ne!(run(7).1, run(8).1);
+}
+
+#[test]
+fn closed_loop_completes_and_converges() {
+    let mut sim = SimBuilder::new(3).seed(2).build();
+    sim.run_until_leader(10 * SEC).expect("leader");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(16, 128, 500));
+    assert!(sim.run_until_completed(500, 60 * SEC), "workload stalled");
+    sim.run_for(SEC); // drain trailing commits to followers
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    for &id in &sim.members() {
+        assert_eq!(sim.applied_log(id).len(), 500, "node {id} incomplete");
+    }
+}
+
+#[test]
+fn follower_crash_does_not_stop_broadcast() {
+    let mut sim = SimBuilder::new(3).seed(3).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(4, 64, 300));
+    sim.run_until_completed(100, 30 * SEC);
+    sim.crash(victim);
+    assert!(sim.run_until_completed(300, 60 * SEC), "broadcast stalled after follower crash");
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn follower_crash_restart_catches_up() {
+    let mut sim = SimBuilder::new(3).seed(4).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(4, 64, 400));
+    sim.run_until_completed(100, 30 * SEC);
+    sim.crash(victim);
+    sim.run_until_completed(200, 30 * SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(400, 90 * SEC));
+    sim.run_for(3 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}
+
+#[test]
+fn leader_crash_fails_over_and_preserves_history() {
+    let mut sim = SimBuilder::new(3)
+        .seed(5)
+        .timeouts_ms(200, 200, 25)
+        .build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(4, 64, 400));
+    assert!(sim.run_until_completed(150, 30 * SEC));
+    sim.crash(leader);
+    // A new leader must emerge and the workload must finish (ops in flight
+    // at the crash may be lost; the closed loop re-issues none of them, so
+    // allow a lower completion bar: issue fresh ops via the remaining ids).
+    let new_leader = {
+        // Let failover play out.
+        sim.run_for(3 * SEC);
+        sim.leader().expect("failover leader")
+    };
+    assert_ne!(new_leader, leader);
+    assert!(sim.run_until_completed(390, 120 * SEC), "workload stalled after failover");
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn repeated_leader_crashes_never_violate_safety() {
+    let mut sim = SimBuilder::new(5)
+        .seed(6)
+        .timeouts_ms(200, 200, 25)
+        .build();
+    sim.run_until_leader(10 * SEC).expect("leader");
+    sim.install_closed_loop(ClosedLoopSpec {
+        clients: 8,
+        payload_size: 64,
+        total_ops: 2_000,
+        retry_delay_us: 5_000,
+        op_timeout_us: Some(2 * SEC),
+    });
+    let mut crashed: Option<zab_core::ServerId> = None;
+    for round in 0..4 {
+        sim.run_for(5 * SEC);
+        if let Some(old) = crashed.take() {
+            sim.restart(old);
+        }
+        if let Some(l) = sim.leader() {
+            sim.crash(l);
+            crashed = Some(l);
+        }
+        sim.run_for(3 * SEC);
+        sim.check_invariants()
+            .unwrap_or_else(|e| panic!("safety violated in round {round}: {e}"));
+    }
+    if let Some(old) = crashed {
+        sim.restart(old);
+    }
+    sim.run_for(10 * SEC);
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn minority_partition_stalls_majority_side_continues() {
+    let mut sim = SimBuilder::new(5).seed(7).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    sim.install_closed_loop(ClosedLoopSpec {
+        clients: 4,
+        payload_size: 64,
+        total_ops: 1_000,
+        retry_delay_us: 5_000,
+        op_timeout_us: Some(2 * SEC),
+    });
+    sim.run_until_completed(200, 30 * SEC);
+    // Cut the leader plus one follower away from the other three.
+    let mut others = sim.members();
+    others.retain(|&m| m != leader);
+    let minority = [leader.0, others[0].0];
+    let majority = [others[1].0, others[2].0, others[3].0];
+    sim.partition(&[&minority, &majority]);
+    sim.run_for(5 * SEC);
+    // The majority side elected a new leader and keeps committing.
+    let new_leader = sim.leader().expect("majority leader");
+    assert!(majority.contains(&new_leader.0), "leader must be on the majority side");
+    assert!(sim.run_until_completed(600, 60 * SEC), "majority side stalled");
+    sim.check_invariants().unwrap();
+    // Heal: the old leader's side rejoins; everything converges.
+    sim.heal();
+    assert!(sim.run_until_completed(1_000, 120 * SEC), "post-heal stall");
+    sim.run_for(5 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}
+
+#[test]
+fn partitioned_minority_leader_abdicates() {
+    let mut sim = SimBuilder::new(3).seed(8).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    sim.partition(&[&[leader.0]]); // leader alone; others together
+    sim.run_for(3 * SEC);
+    // The isolated ex-leader must no longer claim established leadership.
+    let current = sim.leader();
+    assert_ne!(current, Some(leader), "isolated leader failed to abdicate");
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn unflushed_writes_are_lost_but_safety_holds() {
+    // Crash a follower immediately after heavy traffic; its unflushed log
+    // suffix vanishes. On restart it must resync without violating order.
+    let mut sim = SimBuilder::new(3)
+        .seed(9)
+        .flush_latency_us(20_000) // slow disk: lots of unflushed state
+        .build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(32, 256, 600));
+    sim.run_until_completed(300, 60 * SEC);
+    sim.crash(victim);
+    sim.run_for(SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(600, 120 * SEC));
+    sim.run_for(3 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}
+
+#[test]
+fn snap_threshold_forces_snapshot_resync() {
+    let mut sim = SimBuilder::new(3).seed(10).snap_threshold(50).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 500));
+    sim.run_until_completed(50, 30 * SEC);
+    sim.crash(victim);
+    // Let far more than snap_threshold transactions pass.
+    sim.run_until_completed(400, 60 * SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(500, 60 * SEC));
+    sim.run_for(3 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    assert_eq!(sim.applied_log(victim).len(), 500);
+}
+
+#[test]
+fn two_node_ensemble_survives_follower_blip() {
+    let mut sim = SimBuilder::new(2).seed(11).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let follower = sim.members().into_iter().find(|&m| m != leader).expect("one follower");
+    sim.install_closed_loop(ClosedLoopSpec {
+        clients: 2,
+        payload_size: 32,
+        total_ops: 200,
+        retry_delay_us: 5_000,
+        op_timeout_us: Some(2 * SEC),
+    });
+    sim.run_until_completed(50, 30 * SEC);
+    sim.crash(follower);
+    sim.run_for(SEC); // leader stalls (no quorum)
+    sim.restart(follower);
+    assert!(sim.run_until_completed(200, 120 * SEC), "did not recover from blip");
+    sim.check_invariants().unwrap();
+}
+
+#[test]
+fn periodic_compaction_with_lagging_follower_snap_resync() {
+    // With aggressive compaction, a follower that misses many transactions
+    // finds the leader's log truncated and must take a snapshot sync.
+    let mut sim = SimBuilder::new(3)
+        .seed(12)
+        .compact_every(Some(100))
+        .build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 800));
+    sim.run_until_completed(100, 30 * SEC);
+    sim.crash(victim);
+    sim.run_until_completed(700, 60 * SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(800, 120 * SEC));
+    sim.run_for(3 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    assert_eq!(sim.applied_log(victim).len(), 800);
+}
+
+#[test]
+fn compaction_survives_crash_recovery() {
+    // Compacted nodes recover from snapshot + log suffix.
+    let mut sim = SimBuilder::new(3)
+        .seed(13)
+        .compact_every(Some(50))
+        .build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 400));
+    sim.run_until_completed(200, 30 * SEC);
+    sim.crash(victim);
+    sim.run_for(SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(400, 120 * SEC));
+    sim.run_for(3 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}

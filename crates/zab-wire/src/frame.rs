@@ -1,0 +1,238 @@
+//! Length-prefixed, checksummed frames.
+//!
+//! A frame on a byte stream is laid out as:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | len: u32 LE    | crc32c: u32 LE | payload (len B)  |
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! `len` counts only the payload. The CRC covers only the payload; a frame
+//! whose checksum does not match is reported as corruption, which the
+//! transport treats as a broken connection (Zab's channel assumption is that
+//! a channel either delivers intact data in order or fails).
+//!
+//! [`FrameDecoder`] is incremental: feed it arbitrary chunks of a stream with
+//! [`FrameDecoder::extend`] and drain complete frames with
+//! [`FrameDecoder::next_frame`].
+
+use crate::crc32c::crc32c;
+use std::error::Error;
+use std::fmt;
+
+/// Frame header size in bytes: length prefix + checksum.
+pub const HEADER_LEN: usize = 8;
+
+/// Maximum accepted payload length (64 MiB).
+///
+/// Large enough for a SNAP-style full-state transfer chunk, small enough
+/// that a corrupt length prefix cannot trigger an absurd allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Decoding failure on a framed stream. Both variants are unrecoverable for
+/// the connection that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    TooLong {
+        /// Claimed payload length.
+        claimed: usize,
+    },
+    /// The payload checksum did not match.
+    BadChecksum {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong { claimed } => {
+                write!(f, "frame length {claimed} exceeds limit {MAX_FRAME_LEN}")
+            }
+            FrameError::BadChecksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header {expected:#010x}, computed {actual:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Encodes `payload` into a self-contained frame ready to write to a stream.
+///
+/// # Panics
+///
+/// Panics if `payload.len() > MAX_FRAME_LEN`; callers size protocol messages
+/// below the limit by construction.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "payload exceeds MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame decoder over a byte stream.
+///
+/// # Example
+///
+/// ```
+/// use zab_wire::frame::{encode_frame, FrameDecoder};
+///
+/// let wire = encode_frame(b"one");
+/// let mut dec = FrameDecoder::new();
+/// // Bytes may arrive in arbitrary chunks.
+/// dec.extend(&wire[..5]);
+/// assert_eq!(dec.next_frame().unwrap(), None);
+/// dec.extend(&wire[5..]);
+/// assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"one"[..]));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read offset into `buf`; consumed bytes are compacted lazily.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder { buf: Vec::new(), start: 0 }
+    }
+
+    /// Appends raw stream bytes to the internal buffer.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact when the consumed prefix dominates, to bound memory.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Attempts to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(payload))`
+    /// for a complete valid frame, and an error when the stream is corrupt
+    /// (after which the decoder must be discarded along with its connection).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLong`] for an oversized length prefix,
+    /// [`FrameError::BadChecksum`] when the payload fails verification.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLong { claimed: len });
+        }
+        let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = avail[HEADER_LEN..HEADER_LEN + len].to_vec();
+        let actual = crc32c(&payload);
+        if actual != expected {
+            return Err(FrameError::BadChecksum { expected, actual });
+        }
+        self.start += HEADER_LEN + len;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(b"hello zab"));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"hello zab"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(b""));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut wire = encode_frame(b"a");
+        wire.extend(encode_frame(b"bb"));
+        wire.extend(encode_frame(b"ccc"));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"bb"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"ccc"[..]));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let wire = encode_frame(b"fragmented");
+        let mut dec = FrameDecoder::new();
+        for (i, &b) in wire.iter().enumerate() {
+            dec.extend(&[b]);
+            let got = dec.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert_eq!(got, None, "frame completed early at byte {i}");
+            } else {
+                assert_eq!(got.as_deref(), Some(&b"fragmented"[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let mut wire = encode_frame(b"sensitive");
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_detected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::TooLong { .. })));
+    }
+
+    #[test]
+    fn compaction_preserves_stream_position() {
+        let mut dec = FrameDecoder::new();
+        // Push enough small frames to trigger internal compaction repeatedly.
+        let frame = encode_frame(&[7u8; 100]);
+        for _ in 0..200 {
+            dec.extend(&frame);
+        }
+        for _ in 0..200 {
+            assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&[7u8; 100][..]));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending_len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Wire-format primitives shared by every layer of the Zab reproduction.
+//!
+//! Zab assumes FIFO, loss-announcing byte channels between processes (the
+//! paper runs over TCP). This crate provides the pieces needed to put
+//! protocol messages and log records onto such channels:
+//!
+//! - [`crc32c`] — the Castagnoli CRC used to checksum log records and frames,
+//! - [`codec`] — explicit little-endian primitive encoding ([`codec::WireWrite`]
+//!   / [`codec::WireRead`]) so the byte layout is stable and documented,
+//! - [`frame`] — length-prefixed, checksummed frames with an incremental
+//!   decoder suitable for a streaming socket.
+//!
+//! The protocol wire format is hand-rolled rather than serde-derived so that
+//! compatibility is a property of this crate alone and the hot path performs
+//! no reflection-style dispatch.
+//!
+//! # Example
+//!
+//! ```
+//! use zab_wire::codec::{WireRead, WireWrite};
+//! use zab_wire::frame::{FrameDecoder, encode_frame};
+//!
+//! // Encode a payload into a frame and decode it back, as a socket would.
+//! let mut payload = Vec::new();
+//! payload.put_u64_le_wire(42);
+//! payload.put_str_wire("hello");
+//!
+//! let frame = encode_frame(&payload);
+//! let mut decoder = FrameDecoder::new();
+//! decoder.extend(&frame);
+//! let decoded = decoder.next_frame().expect("no corruption").expect("complete");
+//! let mut cursor = decoded.as_slice();
+//! assert_eq!(cursor.get_u64_le_wire().unwrap(), 42);
+//! assert_eq!(cursor.get_str_wire().unwrap(), "hello");
+//! ```
+
+pub mod codec;
+pub mod crc32c;
+pub mod frame;
+
+pub use codec::{WireError, WireRead, WireWrite};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};

@@ -1,0 +1,2 @@
+//! Umbrella crate: examples and integration tests for the Zab reproduction.
+pub use zab_core as core;

@@ -1,0 +1,146 @@
+//! Cross-crate link between the KV application and the PO requirement:
+//! the incremental deltas the primary emits are exactly the objects whose
+//! correctness depends on primary-order delivery.
+
+use proptest::prelude::*;
+use zab_kv::{DataTree, Delta, Op, PrimaryExecutor};
+
+/// A generated, always-valid client operation against a growing tree.
+#[derive(Debug, Clone)]
+enum GenOp {
+    CreateSeq { parent_idx: usize },
+    Set { node_idx: usize },
+    CreatePlain { name: u8 },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0usize..8).prop_map(|parent_idx| GenOp::CreateSeq { parent_idx }),
+        (0usize..16).prop_map(|node_idx| GenOp::Set { node_idx }),
+        (0u8..50).prop_map(|name| GenOp::CreatePlain { name }),
+    ]
+}
+
+/// Materializes generated ops into executable ones against the current
+/// speculative view (skipping ops whose target no longer makes sense).
+fn materialize(gen: &GenOp, view: &DataTree) -> Option<Op> {
+    let existing: Vec<String> = view.children("/").expect("root").to_vec();
+    match gen {
+        GenOp::CreateSeq { parent_idx } => {
+            // Sequential create under root or an existing child.
+            if existing.is_empty() || parent_idx % 2 == 0 {
+                Some(Op::create_sequential("/q-", vec![1]))
+            } else {
+                let p = &existing[parent_idx % existing.len()];
+                Some(Op::create_sequential(format!("/{p}/s-"), vec![2]))
+            }
+        }
+        GenOp::Set { node_idx } => {
+            if existing.is_empty() {
+                None
+            } else {
+                let p = &existing[node_idx % existing.len()];
+                Some(Op::set(format!("/{p}"), vec![*node_idx as u8]))
+            }
+        }
+        GenOp::CreatePlain { name } => {
+            let path = format!("/n{name}");
+            if view.exists(&path) {
+                None
+            } else {
+                Some(Op::create(path, vec![*name]))
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// In-order delta application reconstructs the primary's state exactly
+    /// (this is what Zab's primary order guarantees the backups see).
+    #[test]
+    fn backup_replaying_deltas_in_order_matches_primary(
+        gens in prop::collection::vec(gen_op(), 1..60),
+    ) {
+        let mut primary = PrimaryExecutor::new(DataTree::new());
+        let mut deltas: Vec<Delta> = Vec::new();
+        for gen in &gens {
+            if let Some(op) = materialize(gen, primary.view()) {
+                if let Ok((delta, _)) = primary.execute(&op) {
+                    deltas.push(delta);
+                }
+            }
+        }
+        let mut backup = DataTree::new();
+        for d in &deltas {
+            backup.apply(d).expect("in-order deltas always apply");
+        }
+        prop_assert_eq!(&backup, primary.view());
+    }
+
+    /// Dropping one delta from the middle of a dependent chain makes some
+    /// later delta fail or the final state diverge — deltas really are
+    /// order/completeness sensitive (the property Multi-Paxos breaks).
+    #[test]
+    fn dropping_a_middle_delta_is_observable(
+        count in 3usize..20,
+    ) {
+        // A maximally dependent chain: sequential creates under one parent.
+        let mut primary = PrimaryExecutor::new(DataTree::new());
+        let mut deltas = Vec::new();
+        for _ in 0..count {
+            let (d, _) = primary.execute(&Op::create_sequential("/c-", vec![])).expect("create");
+            deltas.push(d);
+        }
+        let skip = count / 2;
+        let mut backup = DataTree::new();
+        let mut failed = false;
+        for (i, d) in deltas.iter().enumerate() {
+            if i == skip {
+                continue;
+            }
+            if backup.apply(d).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        // Either some delta failed to apply, or the final states differ.
+        prop_assert!(
+            failed || &backup != primary.view(),
+            "dropping delta {skip} of {count} went unnoticed"
+        );
+    }
+}
+
+/// The concrete five-line story from the paper's introduction: a lock
+/// queue where the delta for request k is meaningless without request k-1.
+#[test]
+fn lock_queue_depends_on_every_predecessor() {
+    let mut primary = PrimaryExecutor::new(DataTree::new());
+    let (d_queue, _) = primary.execute(&Op::create("/lock", vec![])).expect("mkdir");
+    let (d1, r1) = primary
+        .execute(&Op::create_sequential("/lock/req-", b"client-a".to_vec()))
+        .expect("req 1");
+    let (d2, r2) = primary
+        .execute(&Op::create_sequential("/lock/req-", b"client-b".to_vec()))
+        .expect("req 2");
+    assert_eq!(r1.created_path.as_deref(), Some("/lock/req-0000000000"));
+    assert_eq!(r2.created_path.as_deref(), Some("/lock/req-0000000001"));
+
+    // A backup that somehow applies d2 without d1 has a corrupt queue:
+    // the holder (lowest sequence number) would be wrong.
+    let mut bad_backup = DataTree::new();
+    bad_backup.apply(&d_queue).expect("mkdir");
+    bad_backup.apply(&d2).expect("applies structurally...");
+    let holder = bad_backup.children("/lock").expect("lock")[0].clone();
+    assert_eq!(holder, "req-0000000001", "...but client-b now wrongly holds the lock");
+
+    // The correct backup agrees with the primary.
+    let mut good_backup = DataTree::new();
+    for d in [&d_queue, &d1, &d2] {
+        good_backup.apply(d).expect("in order");
+    }
+    assert_eq!(good_backup.children("/lock").expect("lock")[0], "req-0000000000");
+    assert_eq!(&good_backup, primary.view());
+}

@@ -1,0 +1,204 @@
+//! Property-based safety: random fault schedules against the simulator,
+//! with the full PO-atomic-broadcast checker as the oracle.
+//!
+//! Each case builds a cluster, runs a closed-loop workload, and interleaves
+//! a randomly generated schedule of crashes, restarts, and partitions.
+//! Whatever happens, the checker must pass — these properties are the
+//! paper's §4 safety claims, tested rather than proved.
+
+use proptest::prelude::*;
+use zab_core::ServerId;
+use zab_simnet::{ClosedLoopSpec, Sim, SimBuilder};
+
+const SEC: u64 = 1_000_000;
+
+/// One step of a fault schedule.
+#[derive(Debug, Clone)]
+enum Fault {
+    /// Crash server `victim % n` (if up).
+    Crash(u64),
+    /// Restart whichever server is down (no-op if none).
+    RestartDowned,
+    /// Partition the named server away from the rest.
+    Isolate(u64),
+    /// Heal all partitions.
+    Heal,
+    /// Let time pass (ms).
+    Run(u64),
+}
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0u64..16).prop_map(Fault::Crash),
+        Just(Fault::RestartDowned),
+        (0u64..16).prop_map(Fault::Isolate),
+        Just(Fault::Heal),
+        (200u64..2_000).prop_map(Fault::Run),
+    ]
+}
+
+/// Applies a schedule while a workload runs; returns the sim for checking.
+fn run_schedule(n: u64, seed: u64, schedule: &[Fault]) -> Sim {
+    let mut sim = SimBuilder::new(n)
+        .seed(seed)
+        .timeouts_ms(200, 200, 25)
+        .build();
+    sim.run_until_leader(20 * SEC);
+    sim.install_closed_loop(ClosedLoopSpec {
+        clients: 6,
+        payload_size: 64,
+        total_ops: 100_000, // effectively unbounded for the schedule
+        retry_delay_us: 5_000,
+        op_timeout_us: Some(2 * SEC),
+    });
+    let mut downed: Vec<ServerId> = Vec::new();
+    for fault in schedule {
+        match fault {
+            Fault::Crash(v) => {
+                let victim = ServerId(v % n + 1);
+                // Keep a quorum's worth of servers up so the run makes
+                // progress (safety holds regardless, but stalled runs
+                // test less).
+                if !downed.contains(&victim) && downed.len() + 1 < (n as usize + 1) / 2 + 1 {
+                    sim.crash(victim);
+                    downed.push(victim);
+                }
+            }
+            Fault::RestartDowned => {
+                if let Some(v) = downed.pop() {
+                    sim.restart(v);
+                }
+            }
+            Fault::Isolate(v) => {
+                let victim = v % n + 1;
+                sim.partition(&[&[victim]]);
+            }
+            Fault::Heal => sim.heal(),
+            Fault::Run(ms) => sim.run_for(ms * 1_000),
+        }
+        sim.run_for(100_000);
+    }
+    // Final heal + settle so convergence can also be checked.
+    sim.heal();
+    for v in downed {
+        sim.restart(v);
+    }
+    sim.run_for(10 * SEC);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Safety under arbitrary crash/partition schedules, 3 servers.
+    #[test]
+    fn po_safety_holds_under_random_faults_n3(
+        seed in 0u64..10_000,
+        schedule in prop::collection::vec(fault_strategy(), 1..12),
+    ) {
+        let sim = run_schedule(3, seed, &schedule);
+        sim.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("safety violated: {e} (schedule {schedule:?})"))
+        })?;
+    }
+
+    /// Safety under arbitrary crash/partition schedules, 5 servers.
+    #[test]
+    fn po_safety_holds_under_random_faults_n5(
+        seed in 0u64..10_000,
+        schedule in prop::collection::vec(fault_strategy(), 1..10),
+    ) {
+        let sim = run_schedule(5, seed, &schedule);
+        sim.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("safety violated: {e} (schedule {schedule:?})"))
+        })?;
+    }
+
+    /// With compaction enabled, the same properties hold (SNAP paths).
+    #[test]
+    fn po_safety_holds_with_compaction(
+        seed in 0u64..10_000,
+        schedule in prop::collection::vec(fault_strategy(), 1..8),
+    ) {
+        let mut sim = SimBuilder::new(3)
+            .seed(seed)
+            .timeouts_ms(200, 200, 25)
+            .compact_every(Some(25))
+            .build();
+        sim.run_until_leader(20 * SEC);
+        sim.install_closed_loop(ClosedLoopSpec {
+            clients: 6,
+            payload_size: 64,
+            total_ops: 100_000,
+            retry_delay_us: 5_000,
+            op_timeout_us: Some(2 * SEC),
+        });
+        let mut downed: Vec<ServerId> = Vec::new();
+        for fault in &schedule {
+            match fault {
+                Fault::Crash(v) => {
+                    let victim = ServerId(v % 3 + 1);
+                    if downed.is_empty() {
+                        sim.crash(victim);
+                        downed.push(victim);
+                    }
+                }
+                Fault::RestartDowned => {
+                    if let Some(v) = downed.pop() {
+                        sim.restart(v);
+                    }
+                }
+                Fault::Isolate(v) => sim.partition(&[&[v % 3 + 1]]),
+                Fault::Heal => sim.heal(),
+                Fault::Run(ms) => sim.run_for(ms * 1_000),
+            }
+            sim.run_for(100_000);
+        }
+        sim.heal();
+        for v in downed {
+            sim.restart(v);
+        }
+        sim.run_for(10 * SEC);
+        sim.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("safety violated: {e} (schedule {schedule:?})"))
+        })?;
+    }
+}
+
+/// A long deterministic soak: rolling crashes across every server.
+#[test]
+fn rolling_crash_soak() {
+    let mut sim = SimBuilder::new(5)
+        .seed(777)
+        .timeouts_ms(200, 200, 25)
+        .build();
+    sim.run_until_leader(20 * SEC).expect("leader");
+    sim.install_closed_loop(ClosedLoopSpec {
+        clients: 8,
+        payload_size: 128,
+        total_ops: 100_000,
+        retry_delay_us: 5_000,
+        op_timeout_us: Some(2 * SEC),
+    });
+    for round in 0..10u64 {
+        let victim = ServerId(round % 5 + 1);
+        sim.crash(victim);
+        sim.run_for(2 * SEC);
+        sim.restart(victim);
+        sim.run_for(2 * SEC);
+        sim.check_invariants()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+    sim.run_for(10 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    assert!(
+        sim.stats().ops.len() > 1_000,
+        "soak made too little progress: {} ops",
+        sim.stats().ops.len()
+    );
+}
