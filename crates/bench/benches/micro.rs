@@ -6,8 +6,11 @@
 //!
 //! Run: `cargo bench -p zab-bench`
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
 use zab_core::{Epoch, Message, Txn, Zxid};
 use zab_kv::{DataTree, Op, PrimaryExecutor};
 use zab_log::{FileStorage, MemStorage, Storage};
@@ -43,9 +46,7 @@ fn bench_frame(c: &mut Criterion) {
 
 fn bench_message_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("message");
-    let msg = Message::Propose {
-        txn: Txn::new(Zxid::new(Epoch(3), 42), vec![9u8; 1024]),
-    };
+    let msg = Message::Propose { txn: Txn::new(Zxid::new(Epoch(3), 42), vec![9u8; 1024]) };
     g.throughput(Throughput::Bytes(1024));
     g.bench_function("encode_propose_1KiB", |b| b.iter(|| black_box(&msg).encode()));
     let wire = msg.encode();
@@ -121,6 +122,68 @@ fn bench_data_tree(c: &mut Criterion) {
     g.finish();
 }
 
+const FANOUT_PAYLOADS: [usize; 4] = [1024, 4096, 16384, 65536];
+const FANOUT_FOLLOWERS: [usize; 4] = [2, 4, 8, 16];
+
+/// One leader fan-out: the broadcast hot path clones the message handle
+/// once per follower (`Leader::broadcast`); with `Bytes` payloads this is
+/// a refcount bump, never a payload copy.
+fn fan_out(msg: &Message, followers: usize) -> Vec<Message> {
+    let mut out = Vec::with_capacity(followers);
+    for _ in 0..followers {
+        out.push(black_box(msg).clone());
+    }
+    out
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout");
+    for size in FANOUT_PAYLOADS {
+        let msg = Message::Propose {
+            txn: Txn::new(Zxid::new(Epoch(1), 1), Bytes::from(vec![0xC3u8; size])),
+        };
+        for n in FANOUT_FOLLOWERS {
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_function(format!("{}KiB_x{n}", size / 1024), |b| b.iter(|| fan_out(&msg, n)));
+        }
+    }
+    g.finish();
+
+    // Hand-timed pass emitting machine-readable rows for CI: if the
+    // zero-copy pipeline holds, ns_per_follower is flat across payload
+    // sizes (a clone is a refcount bump, not a memcpy).
+    let mut rows = Vec::new();
+    for size in FANOUT_PAYLOADS {
+        let msg = Message::Propose {
+            txn: Txn::new(Zxid::new(Epoch(1), 1), Bytes::from(vec![0xC3u8; size])),
+        };
+        for n in FANOUT_FOLLOWERS {
+            for _ in 0..1_000 {
+                black_box(fan_out(&msg, n));
+            }
+            let iters = 20_000u32;
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(fan_out(&msg, n));
+            }
+            let ns_per_op = start.elapsed().as_nanos() as f64 / f64::from(iters);
+            rows.push(format!(
+                "{{\"payload_bytes\":{size},\"followers\":{n},\"ns_per_fanout\":{:.1},\"ns_per_follower\":{:.2}}}",
+                ns_per_op,
+                ns_per_op / n as f64
+            ));
+        }
+    }
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fanout.json".into());
+    if let Ok(mut f) = std::fs::File::create(&out) {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"leader_fanout\",\"unit\":\"ns\",\"rows\":[\n{}\n]}}",
+            rows.join(",\n")
+        );
+    }
+}
+
 fn bench_simulated_broadcast(c: &mut Criterion) {
     // End-to-end: how fast the *simulator* chews through a committed op
     // (wall-clock cost of the reproduction itself, not protocol latency).
@@ -145,6 +208,7 @@ criterion_group!(
     bench_message_codec,
     bench_log_append,
     bench_data_tree,
+    bench_fanout,
     bench_simulated_broadcast
 );
 criterion_main!(benches);

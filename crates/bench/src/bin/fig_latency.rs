@@ -19,7 +19,12 @@ fn main() {
         sat_params.total_ops = 3_000;
         let sat = run_saturated(sat_params).throughput_ops_per_sec;
         println!("servers = {n}  (measured saturation ≈ {} ops/s)", fmt_f(sat));
-        print_header(&["offered load (% of sat)", "ops/s offered", "mean lat (ms)", "p99 lat (ms)"]);
+        print_header(&[
+            "offered load (% of sat)",
+            "ops/s offered",
+            "mean lat (ms)",
+            "p99 lat (ms)",
+        ]);
         for pct in [10u64, 25, 50, 75, 90, 100, 110] {
             let rate = (sat * pct as f64 / 100.0).max(100.0) as u64;
             let total_ops = (rate / 2).clamp(500, 5_000);
@@ -29,10 +34,7 @@ fn main() {
             let bytes0 = sim.stats().bytes_delivered;
             sim.install_open_loop(OpenLoopSpec::at_rate(rate, 1024, total_ops));
             // Generous deadline: overload runs drain slowly.
-            assert!(
-                sim.run_until_completed(total_ops, 3_600 * SEC),
-                "open-loop run stalled"
-            );
+            assert!(sim.run_until_completed(total_ops, 3_600 * SEC), "open-loop run stalled");
             sim.check_invariants().expect("safety");
             let r = finish(sim, msg0, bytes0);
             println!(

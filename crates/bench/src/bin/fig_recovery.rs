@@ -21,16 +21,9 @@ const PAYLOAD: usize = 1024;
 
 /// Runs one recovery measurement; returns (sync virtual ms, sync wire MB).
 fn measure(lag: u64, snap_threshold: u64) -> (f64, f64) {
-    let mut sim = SimBuilder::new(3)
-        .seed(11)
-        .snap_threshold(snap_threshold)
-        .build();
+    let mut sim = SimBuilder::new(3).seed(11).snap_threshold(snap_threshold).build();
     let leader = sim.run_until_leader(30 * SEC).expect("leader");
-    let victim = sim
-        .members()
-        .into_iter()
-        .find(|&m| m != leader)
-        .expect("a follower");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
     let total = PREFIX_OPS + lag;
     sim.install_closed_loop(ClosedLoopSpec::saturating(64, PAYLOAD, total));
     assert!(sim.run_until_completed(PREFIX_OPS, 600 * SEC), "prefix stalled");

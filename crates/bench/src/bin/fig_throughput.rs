@@ -14,7 +14,12 @@ use zab_bench::{fmt_f, print_header, run_saturated, SaturatedRun};
 fn main() {
     println!("F1: saturated broadcast throughput, 1 KiB ops, 1 Gb/s leader egress\n");
     print_header(&[
-        "servers", "ops/s", "MB/s (payload)", "mean lat (ms)", "p99 lat (ms)", "ops/s x (n-1)",
+        "servers",
+        "ops/s",
+        "MB/s (payload)",
+        "mean lat (ms)",
+        "p99 lat (ms)",
+        "ops/s x (n-1)",
     ]);
     let mut base: Option<f64> = None;
     for n in [3, 5, 7, 9, 13] {

@@ -71,20 +71,19 @@ fn run(n: u64, window: usize) -> (f64, f64) {
     }
     let deadline = Instant::now() + Duration::from_secs(120);
     while completed < OPS && Instant::now() < deadline {
-        match leader_replica.events().recv_timeout(Duration::from_millis(500)) {
-            Ok(NodeEvent::Delivered(txn)) => {
-                let op = u64::from_le_bytes(txn.data[..8].try_into().expect("8 bytes"));
-                if let Some(start) = in_flight.remove(&op) {
-                    latencies.push(start.elapsed().as_secs_f64() * 1000.0);
-                    completed += 1;
-                    if issued < OPS {
-                        in_flight.insert(issued as u64, Instant::now());
-                        leader_replica.submit(payload(issued));
-                        issued += 1;
-                    }
+        if let Ok(NodeEvent::Delivered(txn)) =
+            leader_replica.events().recv_timeout(Duration::from_millis(500))
+        {
+            let op = u64::from_le_bytes(txn.data[..8].try_into().expect("8 bytes"));
+            if let Some(start) = in_flight.remove(&op) {
+                latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+                completed += 1;
+                if issued < OPS {
+                    in_flight.insert(issued as u64, Instant::now());
+                    leader_replica.submit(payload(issued));
+                    issued += 1;
                 }
             }
-            _ => {}
         }
     }
     assert_eq!(completed, OPS, "run did not complete");

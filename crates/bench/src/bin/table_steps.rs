@@ -33,11 +33,8 @@ fn commit_latency_us(link_us: u64, flush_us: u64) -> f64 {
 }
 
 fn failover_ms(link_us: u64) -> f64 {
-    let mut sim = SimBuilder::new(3)
-        .seed(5)
-        .latency_us(link_us, link_us)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim =
+        SimBuilder::new(3).seed(5).latency_us(link_us, link_us).timeouts_ms(200, 200, 25).build();
     let leader = sim.run_until_leader(30 * SEC).expect("leader");
     sim.run_for(SEC);
     let t0 = sim.now_us();

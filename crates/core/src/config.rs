@@ -80,10 +80,7 @@ impl WeightedQuorum {
 
 impl QuorumSystem for WeightedQuorum {
     fn is_quorum(&self, acked: &BTreeSet<ServerId>) -> bool {
-        let acked_weight: u64 = acked
-            .iter()
-            .filter_map(|id| self.weights.get(id))
-            .sum();
+        let acked_weight: u64 = acked.iter().filter_map(|id| self.weights.get(id)).sum();
         acked_weight * 2 > self.total
     }
 

@@ -64,10 +64,7 @@ mod tests {
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
         deliver_committed(&h, &mut watermark, &mut out);
-        assert_eq!(
-            delivered(&out),
-            (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>()
-        );
+        assert_eq!(delivered(&out), (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>());
         assert_eq!(watermark, Zxid::new(Epoch(1), 3));
     }
 
@@ -93,9 +90,6 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 4));
         out.clear();
         deliver_committed(&h, &mut watermark, &mut out);
-        assert_eq!(
-            delivered(&out),
-            vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]
-        );
+        assert_eq!(delivered(&out), vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]);
     }
 }

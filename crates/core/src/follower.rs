@@ -18,9 +18,7 @@
 
 use crate::config::ClusterConfig;
 use crate::delivery::deliver_committed;
-use crate::events::{
-    Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason,
-};
+use crate::events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 use crate::history::History;
 use crate::messages::Message;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
@@ -40,6 +38,8 @@ pub enum FollowerStatus {
 }
 
 /// What a pending durability token completes.
+// The `Ack` prefix mirrors the protocol message each completion triggers.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug)]
 enum Pending {
     /// `acceptedEpoch` persisted → send `ACKEPOCH`.
@@ -55,7 +55,9 @@ enum Phase {
     Discovering,
     /// Receiving the sync stream; `adopting` is set once `NEWLEADER` was
     /// seen and the durable adoption is in flight or acknowledged.
-    Syncing { acked_new_leader: bool },
+    Syncing {
+        acked_new_leader: bool,
+    },
     Broadcasting,
     Defunct,
 }
@@ -193,10 +195,7 @@ impl Follower {
             }
             Input::Persisted { token } => self.on_persisted(token, &mut out),
             Input::ClientRequest { data } => {
-                out.push(Action::ClientRequestRejected {
-                    data,
-                    reason: RejectReason::NotPrimary,
-                });
+                out.push(Action::ClientRequestRejected { data, reason: RejectReason::NotPrimary });
             }
             Input::SnapshotReady { .. } => {
                 // Followers never request snapshots; ignore.
@@ -227,9 +226,7 @@ impl Follower {
         match msg {
             Message::NewEpoch { epoch } => self.on_new_epoch(epoch, out),
             Message::SyncDiff { txns } => self.on_sync_txns(txns, out),
-            Message::SyncTrunc { truncate_to, txns } => {
-                self.on_sync_trunc(truncate_to, txns, out)
-            }
+            Message::SyncTrunc { truncate_to, txns } => self.on_sync_trunc(truncate_to, txns, out),
             Message::SyncSnap { snapshot, snapshot_zxid, txns } => {
                 self.on_sync_snap(snapshot, snapshot_zxid, txns, out)
             }
@@ -276,10 +273,7 @@ impl Follower {
         }
         self.accepted_epoch = epoch;
         let token = self.token(Pending::AckEpoch);
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::AcceptedEpoch(epoch),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::AcceptedEpoch(epoch) });
     }
 
     /// Common entry for sync-stream transactions (DIFF body, or the suffix
@@ -299,10 +293,7 @@ impl Follower {
             self.history.append(txn.clone());
         }
         let token = self.token_unpending();
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::AppendTxns(txns),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::AppendTxns(txns) });
     }
 
     fn on_sync_trunc(&mut self, truncate_to: Zxid, txns: Vec<Txn>, out: &mut Vec<Action>) {
@@ -328,10 +319,7 @@ impl Follower {
             }
             self.history.truncate_to(fallback);
             let token = self.token_unpending();
-            out.push(Action::Persist {
-                token,
-                req: PersistRequest::TruncateLog(fallback),
-            });
+            out.push(Action::Persist { token, req: PersistRequest::TruncateLog(fallback) });
             self.abdicate("TRUNC to unknown point; truncated and rejoining", out);
             return;
         }
@@ -344,10 +332,7 @@ impl Follower {
             return;
         }
         let token = self.token_unpending();
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::TruncateLog(truncate_to),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::TruncateLog(truncate_to) });
         self.on_sync_txns(txns, out);
     }
 
@@ -363,10 +348,7 @@ impl Follower {
         }
         self.history.reset_to_snapshot(snapshot_zxid);
         self.delivered_to = snapshot_zxid;
-        out.push(Action::InstallSnapshot {
-            snapshot: snapshot.clone(),
-            zxid: snapshot_zxid,
-        });
+        out.push(Action::InstallSnapshot { snapshot: snapshot.clone(), zxid: snapshot_zxid });
         let token = self.token_unpending();
         out.push(Action::Persist {
             token,
@@ -419,10 +401,7 @@ impl Follower {
         self.phase = Phase::Syncing { acked_new_leader: true };
         self.current_epoch = epoch;
         let token = self.token(Pending::AckNewLeader);
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::CurrentEpoch(epoch),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::CurrentEpoch(epoch) });
     }
 
     fn on_up_to_date(&mut self, commit_to: Zxid, out: &mut Vec<Action>) {
@@ -454,10 +433,7 @@ impl Follower {
         }
         self.history.append(txn.clone());
         let token = self.token(Pending::AckProposal(txn.zxid));
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::AppendTxns(vec![txn]),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn]) });
     }
 
     fn on_commit(&mut self, zxid: Zxid, out: &mut Vec<Action>) {
@@ -478,11 +454,7 @@ impl Follower {
 
     fn on_persisted(&mut self, token: PersistToken, out: &mut Vec<Action>) {
         // Ordered durability: token t completes everything ≤ t.
-        let done: Vec<PersistToken> = self
-            .pending
-            .range(..=token)
-            .map(|(&t, _)| t)
-            .collect();
+        let done: Vec<PersistToken> = self.pending.range(..=token).map(|(&t, _)| t).collect();
         let mut best_proposal: Option<Zxid> = None;
         for t in done {
             match self.pending.remove(&t).expect("token present") {
@@ -511,10 +483,7 @@ impl Follower {
             }
         }
         if let Some(zxid) = best_proposal {
-            out.push(Action::Send {
-                to: self.leader,
-                msg: Message::Ack { zxid },
-            });
+            out.push(Action::Send { to: self.leader, msg: Message::Ack { zxid } });
         }
     }
 }
@@ -671,10 +640,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            delivered,
-            (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>()
-        );
+        assert_eq!(delivered, (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -688,10 +654,7 @@ mod tests {
     fn leader_timeout_triggers_election() {
         let mut f = activated_follower();
         let a = f.handle(Input::Tick { now_ms: 10_000 });
-        assert!(a.iter().any(|x| matches!(
-            x,
-            Action::GoToElection { reason: "leader timeout" }
-        )));
+        assert!(a.iter().any(|x| matches!(x, Action::GoToElection { reason: "leader timeout" })));
     }
 
     #[test]
@@ -726,10 +689,8 @@ mod tests {
     #[test]
     fn messages_from_non_leader_are_dropped() {
         let mut f = activated_follower();
-        let a = f.handle(Input::Message {
-            from: ServerId(9),
-            msg: Message::Propose { txn: txn(1, 1) },
-        });
+        let a = f
+            .handle(Input::Message { from: ServerId(9), msg: Message::Propose { txn: txn(1, 1) } });
         assert!(a.is_empty());
         assert_eq!(f.status(), FollowerStatus::Active);
     }
@@ -751,11 +712,8 @@ mod tests {
         let mut h = History::new();
         h.append(txn(1, 1));
         h.append(txn(1, 2));
-        let state = PersistentState {
-            accepted_epoch: Epoch(1),
-            current_epoch: Epoch(1),
-            history: h,
-        };
+        let state =
+            PersistentState { accepted_epoch: Epoch(1), current_epoch: Epoch(1), history: h };
         let (mut f, _) = Follower::new(ME, LEADER, cfg(), state, Zxid::ZERO, 0);
         let a = f.handle(msg(Message::NewEpoch { epoch: Epoch(2) }));
         complete_persists(&mut f, &a);
@@ -796,7 +754,9 @@ mod tests {
             snapshot_zxid: snap_zxid,
             txns: vec![txn(2, 101)],
         }));
-        assert!(a.iter().any(|x| matches!(x, Action::InstallSnapshot { zxid, .. } if *zxid == snap_zxid)));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::InstallSnapshot { zxid, .. } if *zxid == snap_zxid)));
         assert_eq!(f.last_zxid(), Zxid::new(Epoch(2), 101));
         let a = f.handle(msg(Message::NewLeader { epoch: Epoch(3) }));
         complete_persists(&mut f, &a);
@@ -854,18 +814,13 @@ mod tests {
         let mut h = History::new();
         h.append(txn(1, 1));
         h.append(txn(3, 1));
-        let state = PersistentState {
-            accepted_epoch: Epoch(3),
-            current_epoch: Epoch(3),
-            history: h,
-        };
+        let state =
+            PersistentState { accepted_epoch: Epoch(3), current_epoch: Epoch(3), history: h };
         let (mut f, _) = Follower::new(ME, LEADER, cfg(), state, Zxid::ZERO, 0);
         let a = f.handle(msg(Message::NewEpoch { epoch: Epoch(4) }));
         complete_persists(&mut f, &a);
-        let a = f.handle(msg(Message::SyncTrunc {
-            truncate_to: Zxid::new(Epoch(2), 1),
-            txns: vec![],
-        }));
+        let a =
+            f.handle(msg(Message::SyncTrunc { truncate_to: Zxid::new(Epoch(2), 1), txns: vec![] }));
         assert!(a.iter().any(|x| matches!(
             x,
             Action::Persist { req: PersistRequest::TruncateLog(z), .. }

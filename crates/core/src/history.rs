@@ -150,7 +150,11 @@ impl History {
     /// leader's TRUNC references a point it does not have.
     pub fn last_point_at_or_below(&self, z: Zxid) -> Zxid {
         let idx = self.txns.partition_point(|t| t.zxid <= z);
-        if idx == 0 { self.base } else { self.txns[idx - 1].zxid }
+        if idx == 0 {
+            self.base
+        } else {
+            self.txns[idx - 1].zxid
+        }
     }
 
     /// The retained transactions with zxid strictly greater than `after`.
@@ -203,10 +207,7 @@ impl History {
     ///
     /// Panics if `through` exceeds the committed watermark.
     pub fn purge_through(&mut self, through: Zxid) {
-        assert!(
-            through <= self.last_committed,
-            "cannot purge uncommitted transactions"
-        );
+        assert!(through <= self.last_committed, "cannot purge uncommitted transactions");
         if through <= self.base {
             return;
         }
@@ -334,10 +335,7 @@ mod tests {
     #[test]
     fn plan_sync_equal_histories_is_empty_diff() {
         let h = history(&[(1, 1), (1, 2)]);
-        assert_eq!(
-            h.plan_sync(Zxid::new(Epoch(1), 2), 100),
-            SyncPlan::Diff { txns: vec![] }
-        );
+        assert_eq!(h.plan_sync(Zxid::new(Epoch(1), 2), 100), SyncPlan::Diff { txns: vec![] });
     }
 
     #[test]
@@ -404,10 +402,7 @@ mod tests {
             h.append(txn(1, c));
         }
         assert_eq!(h.plan_sync(Zxid::ZERO, 10), SyncPlan::Snap);
-        assert!(matches!(
-            h.plan_sync(Zxid::new(Epoch(1), 45), 10),
-            SyncPlan::Diff { .. }
-        ));
+        assert!(matches!(h.plan_sync(Zxid::new(Epoch(1), 45), 10), SyncPlan::Diff { .. }));
     }
 
     #[test]

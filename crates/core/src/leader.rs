@@ -27,9 +27,7 @@
 
 use crate::config::ClusterConfig;
 use crate::delivery::deliver_committed;
-use crate::events::{
-    Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason,
-};
+use crate::events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 use crate::history::{History, SyncPlan};
 use crate::messages::Message;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
@@ -306,7 +304,7 @@ impl Leader {
         if now_ms.saturating_sub(self.last_ping_ms) >= self.config.ping_interval_ms {
             self.last_ping_ms = now_ms;
             let last_committed = self.history.last_committed();
-            for (&id, _) in &self.peers {
+            for &id in self.peers.keys() {
                 out.push(Action::Send { to: id, msg: Message::Ping { last_committed } });
             }
         }
@@ -451,10 +449,7 @@ impl Leader {
         self.accepted_epoch = self.epoch;
         self.phase = Phase::PersistingEpoch;
         let token = self.token(Pending::SendNewEpoch);
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::AcceptedEpoch(self.epoch),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::AcceptedEpoch(self.epoch) });
     }
 
     fn on_ack_epoch(
@@ -518,10 +513,7 @@ impl Leader {
         self.phase = Phase::Establishing;
         self.current_epoch = self.epoch;
         let token = self.token(Pending::EstablishSelf);
-        out.push(Action::Persist {
-            token,
-            req: PersistRequest::CurrentEpoch(self.epoch),
-        });
+        out.push(Action::Persist { token, req: PersistRequest::CurrentEpoch(self.epoch) });
         // Plan synchronization for every follower that acked the epoch.
         let parked: Vec<(ServerId, Zxid)> = self
             .peers
@@ -542,8 +534,7 @@ impl Leader {
         let plan = self.history.plan_sync(follower_last, self.config.snap_threshold);
         match plan {
             SyncPlan::Snap => {
-                self.peers.get_mut(&from).expect("peer exists").state =
-                    PeerState::AwaitingSnapshot;
+                self.peers.get_mut(&from).expect("peer exists").state = PeerState::AwaitingSnapshot;
                 if !self.snapshot_pending {
                     self.snapshot_pending = true;
                     out.push(Action::TakeSnapshot);
@@ -554,10 +545,7 @@ impl Leader {
                 self.finish_sync_stream(from, out);
             }
             SyncPlan::Trunc { truncate_to, txns } => {
-                out.push(Action::Send {
-                    to: from,
-                    msg: Message::SyncTrunc { truncate_to, txns },
-                });
+                out.push(Action::Send { to: from, msg: Message::SyncTrunc { truncate_to, txns } });
                 self.finish_sync_stream(from, out);
             }
         }
@@ -565,10 +553,8 @@ impl Leader {
 
     fn finish_sync_stream(&mut self, from: ServerId, out: &mut Vec<Action>) {
         out.push(Action::Send { to: from, msg: Message::NewLeader { epoch: self.epoch } });
-        self.peers.get_mut(&from).expect("peer exists").state = PeerState::Syncing {
-            queue: Vec::new(),
-            plan_end: self.history.last_zxid(),
-        };
+        self.peers.get_mut(&from).expect("peer exists").state =
+            PeerState::Syncing { queue: Vec::new(), plan_end: self.history.last_zxid() };
     }
 
     fn on_snapshot_ready(&mut self, snapshot: Bytes, zxid: Zxid, out: &mut Vec<Action>) {
@@ -604,10 +590,8 @@ impl Leader {
         if epoch != self.epoch {
             return;
         }
-        let syncing = matches!(
-            self.peers.get(&from).map(|p| &p.state),
-            Some(PeerState::Syncing { .. })
-        );
+        let syncing =
+            matches!(self.peers.get(&from).map(|p| &p.state), Some(PeerState::Syncing { .. }));
         if !syncing {
             return;
         }
@@ -665,16 +649,14 @@ impl Leader {
     /// the peer's acks.
     fn activate_peer(&mut self, from: ServerId, acked: Zxid, out: &mut Vec<Action>) {
         let peer = self.peers.get_mut(&from).expect("peer exists");
-        let (queue, plan_end) = match std::mem::replace(
-            &mut peer.state,
-            PeerState::Active { acked },
-        ) {
-            PeerState::Syncing { queue, plan_end } => (queue, plan_end),
-            other => {
-                peer.state = other;
-                return;
-            }
-        };
+        let (queue, plan_end) =
+            match std::mem::replace(&mut peer.state, PeerState::Active { acked }) {
+                PeerState::Syncing { queue, plan_end } => (queue, plan_end),
+                other => {
+                    peer.state = other;
+                    return;
+                }
+            };
         let commit_to = self.history.last_committed().min(plan_end);
         out.push(Action::Send { to: from, msg: Message::UpToDate { commit_to } });
         for msg in queue {
@@ -685,17 +667,11 @@ impl Leader {
 
     fn on_client_request(&mut self, data: Bytes, out: &mut Vec<Action>) {
         if self.phase != Phase::Broadcasting {
-            out.push(Action::ClientRequestRejected {
-                data,
-                reason: RejectReason::NotPrimary,
-            });
+            out.push(Action::ClientRequestRejected { data, reason: RejectReason::NotPrimary });
             return;
         }
         if self.pending_requests.len() >= self.config.request_queue_limit {
-            out.push(Action::ClientRequestRejected {
-                data,
-                reason: RejectReason::Overloaded,
-            });
+            out.push(Action::ClientRequestRejected { data, reason: RejectReason::Overloaded });
             return;
         }
         self.pending_requests.push_back(data);
@@ -712,10 +688,7 @@ impl Leader {
             self.history.append(txn.clone());
             self.outstanding += 1;
             let token = self.token(Pending::SelfAck(zxid));
-            out.push(Action::Persist {
-                token,
-                req: PersistRequest::AppendTxns(vec![txn.clone()]),
-            });
+            out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn.clone()]) });
             self.broadcast(Message::Propose { txn }, out);
         }
     }
@@ -808,19 +781,13 @@ impl Leader {
                 watermarks.push((id, acked));
             }
         }
-        let mut candidates: Vec<Zxid> = watermarks
-            .iter()
-            .map(|&(_, z)| z)
-            .filter(|&z| z > last_committed)
-            .collect();
+        let mut candidates: Vec<Zxid> =
+            watermarks.iter().map(|&(_, z)| z).filter(|&z| z > last_committed).collect();
         candidates.sort_unstable();
         candidates.dedup();
         let committed = candidates.into_iter().rev().find(|&z| {
-            let supporters: BTreeSet<ServerId> = watermarks
-                .iter()
-                .filter(|&&(_, w)| w >= z)
-                .map(|&(id, _)| id)
-                .collect();
+            let supporters: BTreeSet<ServerId> =
+                watermarks.iter().filter(|&&(_, w)| w >= z).map(|&(id, _)| id).collect();
             self.config.is_quorum(&supporters)
         });
         let Some(z) = committed else { return };
@@ -886,10 +853,10 @@ mod tests {
         let (mut l, init) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
         assert!(init.is_empty(), "needs a quorum of infos first");
         // Follower infos arrive.
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         // Quorum of infos (self + f2): epoch chosen, persist requested.
         assert!(a.iter().any(|x| matches!(
             x,
@@ -900,16 +867,16 @@ mod tests {
         assert!(matches!(sends_to(&a, F2)[0], Message::NewEpoch { epoch: Epoch(1) }));
         assert_eq!(l.status(), LeaderStatus::CollectingAckEpoch);
         // f3's info arrives late; it gets NEWEPOCH directly.
-        let a3 = l.handle(msg(F3, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a3 = l.handle(msg(
+            F3,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         assert!(matches!(sends_to(&a3, F3)[0], Message::NewEpoch { epoch: Epoch(1) }));
         // Epoch acks from both: establishment begins on quorum.
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         assert_eq!(l.status(), LeaderStatus::Establishing);
         // Sync stream: empty diff + NEWLEADER to f2.
         let f2_msgs = sends_to(&a, F2);
@@ -917,10 +884,10 @@ mod tests {
         assert!(matches!(f2_msgs[1], Message::NewLeader { epoch: Epoch(1) }));
         let a2 = complete_persists(&mut l, &a); // currentEpoch persisted
         assert!(a2.is_empty(), "self ack alone is not a quorum");
-        let a = l.handle(msg(F3, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F3,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         assert!(matches!(sends_to(&a, F3)[1], Message::NewLeader { .. }));
         // f2 acks NEWLEADER: with self, that is a quorum → established.
         let a = l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
@@ -983,16 +950,16 @@ mod tests {
         config.max_outstanding = 1;
         let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
         // Bring up one follower for a quorum.
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         let a = complete_persists(&mut l, &a);
         let _ = a;
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
         assert!(l.is_established());
@@ -1028,15 +995,15 @@ mod tests {
         config.max_outstanding = 1;
         config.request_queue_limit = 2;
         let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
         for _ in 0..3 {
@@ -1052,15 +1019,18 @@ mod tests {
     #[test]
     fn fresher_follower_in_discovery_forces_abdication() {
         let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::new(Epoch(1), 5),
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo {
+                accepted_epoch: Epoch::ZERO,
+                last_zxid: Zxid::new(Epoch(1), 5),
+            },
+        ));
         complete_persists(&mut l, &a);
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch(1),
-            last_zxid: Zxid::new(Epoch(1), 5),
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch(1), last_zxid: Zxid::new(Epoch(1), 5) },
+        ));
         assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
         assert_eq!(l.status(), LeaderStatus::Defunct);
     }
@@ -1068,10 +1038,10 @@ mod tests {
     #[test]
     fn higher_accepted_epoch_in_info_forces_abdication() {
         let mut l = established_leader();
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch(9),
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch(9), last_zxid: Zxid::ZERO },
+        ));
         assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
     }
 
@@ -1080,15 +1050,15 @@ mod tests {
         // Build a 3-ensemble established with only f2; then f3 joins while
         // a proposal is being made mid-sync.
         let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
         assert!(l.is_established());
@@ -1097,15 +1067,15 @@ mod tests {
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
         // f3 joins (fresh): fast path is not taken (accepted 0 < epoch 1).
-        let a = l.handle(msg(F3, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F3,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         assert!(matches!(sends_to(&a, F3)[0], Message::NewEpoch { .. }));
-        let a = l.handle(msg(F3, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F3,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         // Sync carries the committed txn.
         match sends_to(&a, F3)[0] {
             Message::SyncDiff { txns } => assert_eq!(txns.len(), 1),
@@ -1118,10 +1088,10 @@ mod tests {
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 2) }));
         // f3 finishes sync: UPTODATE, then the queued PROPOSE and COMMIT.
-        let a = l.handle(msg(F3, Message::AckNewLeader {
-            epoch: Epoch(1),
-            last_zxid: Zxid::new(Epoch(1), 1),
-        }));
+        let a = l.handle(msg(
+            F3,
+            Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::new(Epoch(1), 1) },
+        ));
         let f3_msgs = sends_to(&a, F3);
         assert!(matches!(f3_msgs[0], Message::UpToDate { .. }));
         assert!(f3_msgs.iter().any(|m| matches!(
@@ -1152,10 +1122,9 @@ mod tests {
         l.handle(Input::PeerDisconnected { peer: F2 });
         l.handle(Input::PeerDisconnected { peer: F3 });
         let a = l.handle(Input::Tick { now_ms: 10_000 });
-        assert!(a.iter().any(|x| matches!(
-            x,
-            Action::GoToElection { reason: "lost contact with a quorum" }
-        )));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::GoToElection { reason: "lost contact with a quorum" })));
     }
 
     #[test]
@@ -1173,10 +1142,9 @@ mod tests {
     fn establish_timeout_abandons_stuck_establishment() {
         let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
         let a = l.handle(Input::Tick { now_ms: 5_000 });
-        assert!(a.iter().any(|x| matches!(
-            x,
-            Action::GoToElection { reason: "failed to establish in time" }
-        )));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::GoToElection { reason: "failed to establish in time" })));
     }
 
     #[test]
@@ -1191,15 +1159,15 @@ mod tests {
         let mut config = cfg();
         config.snap_threshold = 1;
         let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
-        let a = l.handle(msg(F2, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
-        let a = l.handle(msg(F2, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
         // Commit two txns so the gap to a fresh joiner exceeds threshold 1.
@@ -1209,14 +1177,14 @@ mod tests {
         }
         l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 2) }));
         // Fresh f3 joins: plan must be SNAP → TakeSnapshot requested.
-        let _ = l.handle(msg(F3, Message::FollowerInfo {
-            accepted_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
-        let a = l.handle(msg(F3, Message::AckEpoch {
-            current_epoch: Epoch::ZERO,
-            last_zxid: Zxid::ZERO,
-        }));
+        let _ = l.handle(msg(
+            F3,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        let a = l.handle(msg(
+            F3,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
         assert!(a.iter().any(|x| matches!(x, Action::TakeSnapshot)));
         // Snapshot arrives: SNAP + NEWLEADER go out.
         let a = l.handle(Input::SnapshotReady {
@@ -1253,15 +1221,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            committed,
-            (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>()
-        );
+        assert_eq!(committed, (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>());
         // One cumulative COMMIT message.
-        let commits = sends_to(&a, F3)
-            .iter()
-            .filter(|m| matches!(m, Message::Commit { .. }))
-            .count();
+        let commits =
+            sends_to(&a, F3).iter().filter(|m| matches!(m, Message::Commit { .. })).count();
         assert_eq!(commits, 1);
     }
 }

@@ -63,9 +63,7 @@ pub mod messages;
 pub mod types;
 
 pub use config::{ClusterConfig, MajorityQuorum, QuorumSystem, WeightedQuorum};
-pub use events::{
-    Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason,
-};
+pub use events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 pub use follower::{Follower, FollowerStatus};
 pub use history::{History, SyncPlan};
 pub use leader::{Leader, LeaderStatus};

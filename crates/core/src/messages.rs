@@ -150,10 +150,10 @@ fn put_txns(buf: &mut Vec<u8>, txns: &[Txn]) {
     }
 }
 
-fn get_txns(cur: &mut &[u8]) -> Result<Vec<Txn>, WireError> {
+fn get_txns<R: WireRead>(cur: &mut R) -> Result<Vec<Txn>, WireError> {
     let n = cur.get_u32_le_wire()? as usize;
     // Bound preallocation by the remaining input; a lying count fails later.
-    let mut txns = Vec::with_capacity(n.min(cur.len() / 9 + 1));
+    let mut txns = Vec::with_capacity(n.min(cur.remaining() / 9 + 1));
     for _ in 0..n {
         txns.push(Txn::decode(cur)?);
     }
@@ -184,6 +184,14 @@ impl Message {
     /// Encodes the message to its wire representation.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Encodes the message by appending to `buf`, so callers composing a
+    /// larger wire unit (e.g. a channel-tagged transport frame) need no
+    /// intermediate allocation.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Message::FollowerInfo { accepted_epoch, last_zxid } => {
                 buf.put_u8_wire(TAG_FOLLOWER_INFO);
@@ -201,18 +209,18 @@ impl Message {
             }
             Message::SyncDiff { txns } => {
                 buf.put_u8_wire(TAG_SYNC_DIFF);
-                put_txns(&mut buf, txns);
+                put_txns(buf, txns);
             }
             Message::SyncTrunc { truncate_to, txns } => {
                 buf.put_u8_wire(TAG_SYNC_TRUNC);
                 buf.put_u64_le_wire(truncate_to.0);
-                put_txns(&mut buf, txns);
+                put_txns(buf, txns);
             }
             Message::SyncSnap { snapshot, snapshot_zxid, txns } => {
                 buf.put_u8_wire(TAG_SYNC_SNAP);
                 buf.put_bytes_wire(snapshot);
                 buf.put_u64_le_wire(snapshot_zxid.0);
-                put_txns(&mut buf, txns);
+                put_txns(buf, txns);
             }
             Message::NewLeader { epoch } => {
                 buf.put_u8_wire(TAG_NEW_LEADER);
@@ -229,7 +237,7 @@ impl Message {
             }
             Message::Propose { txn } => {
                 buf.put_u8_wire(TAG_PROPOSE);
-                txn.encode(&mut buf);
+                txn.encode(buf);
             }
             Message::Ack { zxid } => {
                 buf.put_u8_wire(TAG_ACK);
@@ -248,17 +256,38 @@ impl Message {
                 buf.put_u64_le_wire(last_zxid.0);
             }
         }
-        buf
     }
 
-    /// Decodes a message from its wire representation.
+    /// Decodes a message from a borrowed wire buffer.
+    ///
+    /// Payload-carrying fields are copied into owned [`Bytes`]; use
+    /// [`Message::decode_bytes`] on a refcounted frame payload to avoid
+    /// that copy.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] on truncation, bad length prefixes, or an
     /// unknown tag.
     pub fn decode(mut cur: &[u8]) -> Result<Message, WireError> {
-        let cur = &mut cur;
+        Message::decode_from(&mut cur)
+    }
+
+    /// Decodes a message from an owned, refcounted frame payload.
+    ///
+    /// Transaction data and snapshot fields come back as zero-copy views
+    /// of `buf` — the single receive-buffer allocation is shared by every
+    /// downstream holder of the payload (log append, fan-out, delivery).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation, bad length prefixes, or an
+    /// unknown tag.
+    pub fn decode_bytes(buf: Bytes) -> Result<Message, WireError> {
+        Message::decode_from(&mut zab_wire::codec::BytesCursor::new(buf))
+    }
+
+    /// Decodes a message from any wire cursor.
+    fn decode_from<R: WireRead>(cur: &mut R) -> Result<Message, WireError> {
         let tag = cur.get_u8_wire()?;
         let msg = match tag {
             TAG_FOLLOWER_INFO => Message::FollowerInfo {
@@ -276,7 +305,7 @@ impl Message {
                 txns: get_txns(cur)?,
             },
             TAG_SYNC_SNAP => Message::SyncSnap {
-                snapshot: Bytes::copy_from_slice(cur.get_bytes_wire()?),
+                snapshot: cur.get_bytes_wire()?,
                 snapshot_zxid: Zxid(cur.get_u64_le_wire()?),
                 txns: get_txns(cur)?,
             },
@@ -308,31 +337,19 @@ mod tests {
 
     fn all_variants() -> Vec<Message> {
         vec![
-            Message::FollowerInfo {
-                accepted_epoch: Epoch(3),
-                last_zxid: Zxid::new(Epoch(2), 9),
-            },
+            Message::FollowerInfo { accepted_epoch: Epoch(3), last_zxid: Zxid::new(Epoch(2), 9) },
             Message::NewEpoch { epoch: Epoch(4) },
-            Message::AckEpoch {
-                current_epoch: Epoch(3),
-                last_zxid: Zxid::new(Epoch(3), 1),
-            },
+            Message::AckEpoch { current_epoch: Epoch(3), last_zxid: Zxid::new(Epoch(3), 1) },
             Message::SyncDiff { txns: vec![txn(1, 1), txn(1, 2)] },
             Message::SyncDiff { txns: vec![] },
-            Message::SyncTrunc {
-                truncate_to: Zxid::new(Epoch(1), 1),
-                txns: vec![txn(2, 1)],
-            },
+            Message::SyncTrunc { truncate_to: Zxid::new(Epoch(1), 1), txns: vec![txn(2, 1)] },
             Message::SyncSnap {
                 snapshot: Bytes::from_static(b"snapshot-bytes"),
                 snapshot_zxid: Zxid::new(Epoch(2), 50),
                 txns: vec![txn(2, 51)],
             },
             Message::NewLeader { epoch: Epoch(4) },
-            Message::AckNewLeader {
-                epoch: Epoch(4),
-                last_zxid: Zxid::new(Epoch(3), 7),
-            },
+            Message::AckNewLeader { epoch: Epoch(4), last_zxid: Zxid::new(Epoch(3), 7) },
             Message::UpToDate { commit_to: Zxid::new(Epoch(3), 7) },
             Message::Propose { txn: txn(4, 1) },
             Message::Ack { zxid: Zxid::new(Epoch(4), 1) },
@@ -346,9 +363,8 @@ mod tests {
     fn every_variant_round_trips() {
         for msg in all_variants() {
             let wire = msg.encode();
-            let back = Message::decode(&wire).unwrap_or_else(|e| {
-                panic!("decode failed for {}: {e}", msg.kind())
-            });
+            let back = Message::decode(&wire)
+                .unwrap_or_else(|e| panic!("decode failed for {}: {e}", msg.kind()));
             assert_eq!(back, msg, "round trip mismatch for {}", msg.kind());
         }
     }

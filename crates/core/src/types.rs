@@ -152,13 +152,17 @@ impl Txn {
 
     /// Decodes a transaction from a wire cursor.
     ///
+    /// Decoding from a [`zab_wire::codec::BytesCursor`] makes `data` a
+    /// zero-copy view of the cursor's backing buffer; a `&[u8]` cursor
+    /// pays one owning copy.
+    ///
     /// # Errors
     ///
     /// Returns a [`WireError`] if the cursor is truncated or the payload
     /// length prefix is invalid.
-    pub fn decode(cur: &mut &[u8]) -> Result<Txn, WireError> {
+    pub fn decode<R: WireRead>(cur: &mut R) -> Result<Txn, WireError> {
         let zxid = Zxid(cur.get_u64_le_wire()?);
-        let data = Bytes::copy_from_slice(cur.get_bytes_wire()?);
+        let data = cur.get_bytes_wire()?;
         Ok(Txn { zxid, data })
     }
 }

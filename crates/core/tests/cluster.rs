@@ -37,8 +37,14 @@ impl Harness {
             defections: Vec::new(),
         };
         for &id in &ids {
-            let (z, acts) =
-                Zab::from_election(id, leader, cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+            let (z, acts) = Zab::from_election(
+                id,
+                leader,
+                cfg.clone(),
+                PersistentState::default(),
+                Zxid::ZERO,
+                0,
+            );
             h.nodes.insert(id, z);
             h.delivered.insert(id, Vec::new());
             h.dispatch(id, acts);
@@ -192,8 +198,14 @@ fn late_joiner_is_synced_with_diff_and_catches_up() {
         defections: Vec::new(),
     };
     for &id in &[ServerId(1), ServerId(2)] {
-        let (z, acts) =
-            Zab::from_election(id, ServerId(1), cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+        let (z, acts) = Zab::from_election(
+            id,
+            ServerId(1),
+            cfg.clone(),
+            PersistentState::default(),
+            Zxid::ZERO,
+            0,
+        );
         h.nodes.insert(id, z);
         h.delivered.insert(id, Vec::new());
         h.dispatch(id, acts);
@@ -204,8 +216,14 @@ fn late_joiner_is_synced_with_diff_and_catches_up() {
         h.request(ServerId(1), &[i]);
     }
     // Now the third server comes up as a follower of the established leader.
-    let (z, acts) =
-        Zab::from_election(ServerId(3), ServerId(1), cfg, PersistentState::default(), Zxid::ZERO, 0);
+    let (z, acts) = Zab::from_election(
+        ServerId(3),
+        ServerId(1),
+        cfg,
+        PersistentState::default(),
+        Zxid::ZERO,
+        0,
+    );
     h.nodes.insert(ServerId(3), z);
     h.delivered.insert(ServerId(3), Vec::new());
     h.dispatch(ServerId(3), acts);
@@ -248,10 +266,7 @@ fn leader_change_preserves_committed_history() {
     assert_eq!(h2.leader(ServerId(2)).epoch(), Epoch(2));
     // Primary integrity: the old committed txns deliver before anything new.
     let mut prefix: Vec<Zxid> = (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect();
-    assert_eq!(
-        h2.delivered[&ServerId(2)].iter().map(|t| t.zxid).collect::<Vec<_>>(),
-        prefix
-    );
+    assert_eq!(h2.delivered[&ServerId(2)].iter().map(|t| t.zxid).collect::<Vec<_>>(), prefix);
     h2.request(ServerId(2), b"epoch2-txn");
     prefix.push(Zxid::new(Epoch(2), 1));
     for (&id, txns) in &h2.delivered {
@@ -384,8 +399,14 @@ fn outstanding_window_throttles_proposals() {
         defections: Vec::new(),
     };
     for &id in &ids {
-        let (z, acts) =
-            Zab::from_election(id, ServerId(1), cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+        let (z, acts) = Zab::from_election(
+            id,
+            ServerId(1),
+            cfg.clone(),
+            PersistentState::default(),
+            Zxid::ZERO,
+            0,
+        );
         h.nodes.insert(id, z);
         h.delivered.insert(id, Vec::new());
         h.dispatch(id, acts);
@@ -460,8 +481,14 @@ fn snap_sync_for_deeply_lagging_follower() {
         defections: Vec::new(),
     };
     for &id in &[ServerId(1), ServerId(2)] {
-        let (z, acts) =
-            Zab::from_election(id, ServerId(1), cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+        let (z, acts) = Zab::from_election(
+            id,
+            ServerId(1),
+            cfg.clone(),
+            PersistentState::default(),
+            Zxid::ZERO,
+            0,
+        );
         h.nodes.insert(id, z);
         h.delivered.insert(id, Vec::new());
         h.dispatch(id, acts);
@@ -470,8 +497,14 @@ fn snap_sync_for_deeply_lagging_follower() {
     for i in 0..10u8 {
         h.request(ServerId(1), &[i]);
     }
-    let (z, acts) =
-        Zab::from_election(ServerId(3), ServerId(1), cfg, PersistentState::default(), Zxid::ZERO, 0);
+    let (z, acts) = Zab::from_election(
+        ServerId(3),
+        ServerId(1),
+        cfg,
+        PersistentState::default(),
+        Zxid::ZERO,
+        0,
+    );
     h.nodes.insert(ServerId(3), z);
     h.delivered.insert(ServerId(3), Vec::new());
     h.dispatch(ServerId(3), acts);
@@ -505,8 +538,14 @@ fn zero_weight_observer_receives_stream_but_cannot_commit() {
         defections: Vec::new(),
     };
     for id in (1..=3).map(ServerId) {
-        let (z, acts) =
-            Zab::from_election(id, ServerId(1), cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+        let (z, acts) = Zab::from_election(
+            id,
+            ServerId(1),
+            cfg.clone(),
+            PersistentState::default(),
+            Zxid::ZERO,
+            0,
+        );
         h.nodes.insert(id, z);
         h.delivered.insert(id, Vec::new());
         h.dispatch(id, acts);
@@ -528,8 +567,14 @@ fn zero_weight_observer_receives_stream_but_cannot_commit() {
         defections: Vec::new(),
     };
     for id in [ServerId(1), ServerId(3)] {
-        let (z, acts) =
-            Zab::from_election(id, ServerId(1), cfg.clone(), PersistentState::default(), Zxid::ZERO, 0);
+        let (z, acts) = Zab::from_election(
+            id,
+            ServerId(1),
+            cfg.clone(),
+            PersistentState::default(),
+            Zxid::ZERO,
+            0,
+        );
         h2.nodes.insert(id, z);
         h2.delivered.insert(id, Vec::new());
         h2.dispatch(id, acts);

@@ -11,21 +11,16 @@ fn arb_zxid() -> impl Strategy<Value = Zxid> {
 }
 
 fn arb_txn() -> impl Strategy<Value = Txn> {
-    (arb_zxid(), prop::collection::vec(any::<u8>(), 0..64))
-        .prop_map(|(z, d)| Txn::new(z, d))
+    (arb_zxid(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(z, d)| Txn::new(z, d))
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (0u32..100, arb_zxid()).prop_map(|(e, z)| Message::FollowerInfo {
-            accepted_epoch: Epoch(e),
-            last_zxid: z
-        }),
+        (0u32..100, arb_zxid())
+            .prop_map(|(e, z)| Message::FollowerInfo { accepted_epoch: Epoch(e), last_zxid: z }),
         (0u32..100).prop_map(|e| Message::NewEpoch { epoch: Epoch(e) }),
-        (0u32..100, arb_zxid()).prop_map(|(e, z)| Message::AckEpoch {
-            current_epoch: Epoch(e),
-            last_zxid: z
-        }),
+        (0u32..100, arb_zxid())
+            .prop_map(|(e, z)| Message::AckEpoch { current_epoch: Epoch(e), last_zxid: z }),
         prop::collection::vec(arb_txn(), 0..8).prop_map(|txns| Message::SyncDiff { txns }),
         (arb_zxid(), prop::collection::vec(arb_txn(), 0..8))
             .prop_map(|(z, txns)| Message::SyncTrunc { truncate_to: z, txns }),
@@ -40,10 +35,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 txns
             }),
         (0u32..100).prop_map(|e| Message::NewLeader { epoch: Epoch(e) }),
-        (0u32..100, arb_zxid()).prop_map(|(e, z)| Message::AckNewLeader {
-            epoch: Epoch(e),
-            last_zxid: z
-        }),
+        (0u32..100, arb_zxid())
+            .prop_map(|(e, z)| Message::AckNewLeader { epoch: Epoch(e), last_zxid: z }),
         arb_zxid().prop_map(|z| Message::UpToDate { commit_to: z }),
         arb_txn().prop_map(|txn| Message::Propose { txn }),
         arb_zxid().prop_map(|zxid| Message::Ack { zxid }),
@@ -250,4 +243,118 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    /// The zero-copy codec path round-trips payloads of every interesting
+    /// size: a proposed txn encoded, framed, reassembled by the frame
+    /// decoder, and decoded through the refcounted-`Bytes` cursor comes
+    /// back byte-identical. Sizes pin the empty payload and a full 64 KiB
+    /// payload alongside random small ones.
+    #[test]
+    fn bytes_codec_path_round_trips(
+        size in prop_oneof![Just(0usize), Just(64 * 1024), 1usize..2048],
+        seed in any::<u8>(),
+        zxid in arb_zxid(),
+    ) {
+        let payload: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+        let msg = Message::Propose { txn: Txn::new(zxid, payload.clone()) };
+
+        // Encode and frame as the transport does, then feed the frame
+        // through the segment-based decoder.
+        let frame = zab_wire::frame::encode_frame(&msg.encode());
+        let mut dec = zab_wire::frame::FrameDecoder::new();
+        dec.extend_bytes(Bytes::from(frame));
+        let wire = dec.next_frame().unwrap().expect("one whole frame");
+        prop_assert!(dec.next_frame().unwrap().is_none());
+
+        match Message::decode_bytes(wire).unwrap() {
+            Message::Propose { txn } => {
+                prop_assert_eq!(txn.zxid, zxid);
+                prop_assert_eq!(txn.data.as_ref(), &payload[..]);
+            }
+            other => prop_assert!(false, "wrong decode: {:?}", other),
+        }
+    }
+}
+
+/// Replays one recorded failure of `sync_plan_reconstructs_leader_history`
+/// (see `prop.proptest-regressions`) as a deterministic test: the follower
+/// applies the leader's sync plans until its history matches.
+fn check_sync_reconstructs(
+    leader_zxids: Vec<Zxid>,
+    keep: usize,
+    divergent: Vec<Zxid>,
+    threshold: u64,
+) {
+    let leader = history_from_zxids(leader_zxids);
+    let keep = keep.min(leader.len());
+    let mut follower = History::new();
+    for t in &leader.txns()[..keep] {
+        follower.append(t.clone());
+    }
+    let mut divergent_count = 0usize;
+    for z in divergent {
+        if z > follower.last_zxid() && !leader.contains_point(z) {
+            follower.append(Txn::new(z, b"divergent".to_vec()));
+            divergent_count += 1;
+        }
+    }
+    let max_rounds = divergent_count + 2;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= max_rounds, "sync did not converge in {max_rounds} rounds");
+        match leader.plan_sync(follower.last_zxid(), threshold) {
+            SyncPlan::Diff { txns } => {
+                for t in txns {
+                    assert!(t.zxid > follower.last_zxid());
+                    follower.append(t);
+                }
+                break;
+            }
+            SyncPlan::Trunc { truncate_to, txns } => {
+                if !follower.contains_point(truncate_to) {
+                    let fallback = follower.last_point_at_or_below(truncate_to);
+                    follower.truncate_to(fallback);
+                    continue;
+                }
+                follower.truncate_to(truncate_to);
+                for t in txns {
+                    assert!(t.zxid > follower.last_zxid());
+                    follower.append(t);
+                }
+                break;
+            }
+            SyncPlan::Snap => {
+                follower.reset_to_snapshot(leader.base());
+                for t in leader.txns_after(leader.base()) {
+                    follower.append(t.clone());
+                }
+                break;
+            }
+        }
+    }
+    assert_eq!(follower.txns(), leader.txns());
+    assert_eq!(follower.last_zxid(), leader.last_zxid());
+}
+
+#[test]
+fn sync_regression_same_zxid_divergence_threshold_zero() {
+    // prop.proptest-regressions seed 8ddda835…: shrinks to
+    // leader_zxids = [Zxid(1)], shared_prefix_len = 0,
+    // divergent = [Zxid(1)], threshold = 0.
+    check_sync_reconstructs(vec![Zxid(1)], 0, vec![Zxid(1)], 0);
+}
+
+#[test]
+fn sync_regression_multi_epoch_divergence_threshold_five() {
+    // prop.proptest-regressions seed a628207a…: shrinks to three leader
+    // epochs with an interleaved divergent tail at threshold 5.
+    check_sync_reconstructs(
+        vec![Zxid(167_503_724_554), Zxid(141_733_920_768), Zxid(1)],
+        0,
+        vec![Zxid(2), Zxid(141_733_920_769), Zxid(167_503_724_555)],
+        5,
+    );
 }

@@ -217,10 +217,7 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(
-            violations > 0,
-            "expected at least one primary-order violation across 200 seeds"
-        );
+        assert!(violations > 0, "expected at least one primary-order violation across 200 seeds");
     }
 
     #[test]

@@ -87,11 +87,7 @@ impl Acceptor {
                     self.promised = *ballot;
                     Some(PaxosMsg::Promise {
                         ballot: *ballot,
-                        accepted: self
-                            .accepted
-                            .iter()
-                            .map(|(&s, &(b, v))| (s, b, v))
-                            .collect(),
+                        accepted: self.accepted.iter().map(|(&s, &(b, v))| (s, b, v)).collect(),
                     })
                 } else {
                     None

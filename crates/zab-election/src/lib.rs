@@ -332,12 +332,7 @@ impl Election {
         out
     }
 
-    fn on_notification(
-        &mut self,
-        from: ServerId,
-        n: Notification,
-        out: &mut Vec<ElectionAction>,
-    ) {
+    fn on_notification(&mut self, from: ServerId, n: Notification, out: &mut Vec<ElectionAction>) {
         match self.phase {
             Phase::Looking => match n.state {
                 NodeState::Looking => self.on_looking_notification(from, n, out),
@@ -452,12 +447,8 @@ impl Election {
         if self.phase != Phase::Looking || self.finalize_deadline.is_some() {
             return;
         }
-        let supporters: BTreeSet<ServerId> = self
-            .recv
-            .iter()
-            .filter(|(_, v)| **v == self.vote)
-            .map(|(&s, _)| s)
-            .collect();
+        let supporters: BTreeSet<ServerId> =
+            self.recv.iter().filter(|(_, v)| **v == self.vote).map(|(&s, _)| s).collect();
         if self.config.quorum.is_quorum(&supporters) {
             // Quorum reached: arm the finalize window. A better vote
             // arriving before the deadline disarms it.
@@ -519,12 +510,8 @@ mod tests {
 
     #[test]
     fn notification_rejects_bad_state_tag() {
-        let mut data = Notification {
-            round: 1,
-            state: NodeState::Looking,
-            vote: vote(0, 0, 1),
-        }
-        .encode();
+        let mut data =
+            Notification { round: 1, state: NodeState::Looking, vote: vote(0, 0, 1) }.encode();
         data[8] = 9;
         assert!(Notification::decode(&data).is_err());
     }
@@ -533,7 +520,9 @@ mod tests {
     fn single_node_decides_immediately() {
         let (e, acts) = Election::new(ServerId(1), cfg(1), vote(0, 0, 1), 0);
         assert_eq!(e.decided_leader(), Some(ServerId(1)));
-        assert!(acts.iter().any(|a| matches!(a, ElectionAction::Decided { leader } if *leader == ServerId(1))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ElectionAction::Decided { leader } if *leader == ServerId(1))));
     }
 
     /// Fully-connected synchronous gossip: all notifications delivered
@@ -551,8 +540,7 @@ mod tests {
             while let Some((from, act)) = queue.pop() {
                 if let ElectionAction::Send { to, notification } = act {
                     if let Some(n) = nodes.iter_mut().find(|n| n.id() == to) {
-                        let acts =
-                            n.handle(ElectionInput::Notification { from, notification });
+                        let acts = n.handle(ElectionInput::Notification { from, notification });
                         let id = n.id();
                         queue.extend(acts.into_iter().map(|a| (id, a)));
                     }
@@ -644,10 +632,7 @@ mod tests {
         assert_eq!(e.round(), r1 + 1);
         assert!(e.is_looking());
         // Gossips to both peers.
-        let sends = acts
-            .iter()
-            .filter(|a| matches!(a, ElectionAction::Send { .. }))
-            .count();
+        let sends = acts.iter().filter(|a| matches!(a, ElectionAction::Send { .. })).count();
         assert_eq!(sends, 2);
     }
 
@@ -657,11 +642,7 @@ mod tests {
         e.restart(Epoch(0), Zxid(0), 0); // round 2
         let acts = e.handle(ElectionInput::Notification {
             from: ServerId(2),
-            notification: Notification {
-                round: 1,
-                state: NodeState::Looking,
-                vote: vote(9, 9, 2),
-            },
+            notification: Notification { round: 1, state: NodeState::Looking, vote: vote(9, 9, 2) },
         });
         // Our reply carries our (newer) round; the stale better vote is NOT
         // adopted — the peer will re-vote in our round.
@@ -677,11 +658,7 @@ mod tests {
         let (mut e, _) = Election::new(ServerId(1), cfg(3), vote(1, 10, 1), 0);
         let acts = e.handle(ElectionInput::Notification {
             from: ServerId(2),
-            notification: Notification {
-                round: 5,
-                state: NodeState::Looking,
-                vote: vote(0, 0, 2),
-            },
+            notification: Notification { round: 5, state: NodeState::Looking, vote: vote(0, 0, 2) },
         });
         assert_eq!(e.round(), 5);
         // Our own credentials beat the peer's vote, so we still back
@@ -698,11 +675,7 @@ mod tests {
         let (mut e, _) = Election::new(ServerId(1), cfg(5), vote(0, 0, 1), 0);
         let _ = e.handle(ElectionInput::Notification {
             from: ServerId(2),
-            notification: Notification {
-                round: 1,
-                state: NodeState::Looking,
-                vote: vote(0, 0, 1),
-            },
+            notification: Notification { round: 1, state: NodeState::Looking, vote: vote(0, 0, 1) },
         });
         // 2 of 5 back server 1: not a quorum, even after a long wait.
         let acts = e.handle(ElectionInput::Tick { now_ms: 60_000 });
@@ -734,11 +707,7 @@ mod tests {
         let (mut e, _) = Election::new(ServerId(1), cfg(3), vote(0, 0, 1), 0);
         let _ = e.handle(ElectionInput::Notification {
             from: ServerId(3),
-            notification: Notification {
-                round: 4,
-                state: NodeState::Leading,
-                vote: vote(2, 8, 3),
-            },
+            notification: Notification { round: 4, state: NodeState::Leading, vote: vote(2, 8, 3) },
         });
         let acts = e.handle(ElectionInput::Notification {
             from: ServerId(2),

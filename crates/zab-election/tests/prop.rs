@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use zab_core::{Epoch, ServerId, Zxid};
-use zab_election::{
-    Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote,
-};
+use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
 
 /// Synchronous full-mesh gossip until everyone decides (or step budget).
 fn converge(credentials: &[(u32, u64)]) -> Vec<(ServerId, Option<ServerId>)> {

@@ -244,7 +244,11 @@ mod tests {
     #[test]
     fn delta_round_trips() {
         let deltas = vec![
-            Delta::CreateNode { path: "/a-0000000003".into(), data: b"d".to_vec(), parent_cversion: 4 },
+            Delta::CreateNode {
+                path: "/a-0000000003".into(),
+                data: b"d".to_vec(),
+                parent_cversion: 4,
+            },
             Delta::DeleteNode { path: "/a".into() },
             Delta::SetData { path: "/a".into(), data: vec![], new_version: 7 },
         ];

@@ -88,10 +88,8 @@ impl PrimaryExecutor {
                 ))
             }
             Op::Delete { path, expected_version } => {
-                let node = self
-                    .speculative
-                    .get(path)
-                    .ok_or_else(|| KvError::NoNode(path.clone()))?;
+                let node =
+                    self.speculative.get(path).ok_or_else(|| KvError::NoNode(path.clone()))?;
                 if let Some(expected) = expected_version {
                     if node.version != *expected {
                         return Err(KvError::BadVersion {
@@ -107,10 +105,8 @@ impl PrimaryExecutor {
                 Ok((Delta::DeleteNode { path: path.clone() }, OpResult::default()))
             }
             Op::SetData { path, data, expected_version } => {
-                let node = self
-                    .speculative
-                    .get(path)
-                    .ok_or_else(|| KvError::NoNode(path.clone()))?;
+                let node =
+                    self.speculative.get(path).ok_or_else(|| KvError::NoNode(path.clone()))?;
                 if let Some(expected) = expected_version {
                     if node.version != *expected {
                         return Err(KvError::BadVersion {

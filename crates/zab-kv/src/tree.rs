@@ -154,10 +154,8 @@ impl DataTree {
                     return Err(KvError::NoNode(parent.to_string()));
                 };
                 p.cversion = *parent_cversion;
-                self.nodes.insert(
-                    path.clone(),
-                    Znode { data: data.clone(), version: 0, cversion: 0 },
-                );
+                self.nodes
+                    .insert(path.clone(), Znode { data: data.clone(), version: 0, cversion: 0 });
                 Ok(())
             }
             Delta::DeleteNode { path } => {
@@ -250,20 +248,14 @@ mod tests {
     #[test]
     fn create_requires_parent() {
         let mut t = DataTree::new();
-        assert_eq!(
-            t.apply(&create("/a/b", 1)),
-            Err(KvError::NoNode("/a".to_string()))
-        );
+        assert_eq!(t.apply(&create("/a/b", 1)), Err(KvError::NoNode("/a".to_string())));
     }
 
     #[test]
     fn duplicate_create_fails() {
         let mut t = DataTree::new();
         t.apply(&create("/a", 1)).unwrap();
-        assert_eq!(
-            t.apply(&create("/a", 2)),
-            Err(KvError::NodeExists("/a".to_string()))
-        );
+        assert_eq!(t.apply(&create("/a", 2)), Err(KvError::NodeExists("/a".to_string())));
     }
 
     #[test]
@@ -309,8 +301,7 @@ mod tests {
         for p in ["/a", "/a/x", "/b"] {
             t.apply(&create(p, 1)).unwrap();
         }
-        t.apply(&Delta::SetData { path: "/b".into(), data: vec![9; 100], new_version: 3 })
-            .unwrap();
+        t.apply(&Delta::SetData { path: "/b".into(), data: vec![9; 100], new_version: 3 }).unwrap();
         let snap = t.snapshot();
         let back = DataTree::from_snapshot(&snap).unwrap();
         assert_eq!(back, t);

@@ -15,12 +15,13 @@
 //! hot path and honor the flush boundary so drivers can group-commit.
 
 use crate::record::{
-    decode_epochs, decode_snapshot, encode_epochs, encode_log_record, encode_snapshot, scan_log,
+    decode_epochs, decode_snapshot, encode_epochs, encode_log_record, encode_snapshot,
+    log_record_len, log_record_prefix, scan_log, RECORD_PREFIX_LEN,
 };
 use crate::{Recovered, Storage, StorageError};
 use bytes::Bytes;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{self, IoSlice, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use zab_core::{Epoch, History, Txn, Zxid};
 
@@ -73,8 +74,8 @@ impl FileStorage {
 
         let snapshot = match fs::read(dir.join("snapshot")) {
             Ok(data) => {
-                let (zxid, payload) = decode_snapshot(&data)?;
-                Some((Bytes::from(payload), zxid))
+                let (zxid, payload) = decode_snapshot(data)?;
+                Some((payload, zxid))
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(e.into()),
@@ -89,7 +90,7 @@ impl FileStorage {
             .open(&log_path)?;
         let mut data = Vec::new();
         log.read_to_end(&mut data)?;
-        let scan = scan_log(&data);
+        let scan = scan_log(data);
         if scan.torn_tail {
             // Discard the torn tail, as ZooKeeper does on recovery.
             log.set_len(scan.valid_len)?;
@@ -109,22 +110,14 @@ impl FileStorage {
                 )));
             }
             prev = txn.zxid;
-            offset += encode_log_record(txn).len() as u64;
+            offset += log_record_len(txn);
             index.push((txn.zxid, offset));
         }
         // Entries at or below the snapshot base are compacted leftovers;
         // they are ignored by recover() but harmless in the file.
         let _ = base;
 
-        Ok(FileStorage {
-            dir,
-            log,
-            index,
-            accepted_epoch,
-            current_epoch,
-            snapshot,
-            dirty: false,
-        })
+        Ok(FileStorage { dir, log, index, accepted_epoch, current_epoch, snapshot, dirty: false })
     }
 
     /// The storage directory.
@@ -180,6 +173,41 @@ impl FileStorage {
     }
 }
 
+/// Writes every buffer in `bufs` fully, preferring a single vectored
+/// syscall. Partial writes resume from the exact buffer/offset reached.
+fn write_all_vectored(f: &mut File, bufs: &[&[u8]]) -> io::Result<()> {
+    let mut idx = 0; // first buffer not fully written
+    let mut off = 0; // bytes of bufs[idx] already written
+    while idx < bufs.len() {
+        if off == bufs[idx].len() {
+            // Skip empty buffers (and exactly-finished ones).
+            idx += 1;
+            off = 0;
+            continue;
+        }
+        let mut iov = Vec::with_capacity(bufs.len() - idx);
+        iov.push(IoSlice::new(&bufs[idx][off..]));
+        iov.extend(bufs[idx + 1..].iter().map(|b| IoSlice::new(b)));
+        let mut n = match f.write_vectored(&iov) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while idx < bufs.len() {
+            let rem = bufs[idx].len() - off;
+            if n < rem {
+                off += n;
+                break;
+            }
+            n -= rem;
+            idx += 1;
+            off = 0;
+        }
+    }
+    Ok(())
+}
+
 /// Atomically replaces `name` in `dir` with `data` (tmp + fsync + rename).
 fn atomic_replace(dir: &Path, name: &str, data: &[u8]) -> Result<(), StorageError> {
     let tmp = dir.join(format!("{name}.tmp"));
@@ -210,17 +238,32 @@ impl Storage for FileStorage {
     }
 
     fn append_txns(&mut self, txns: &[Txn]) -> Result<(), StorageError> {
+        if txns.is_empty() {
+            return Ok(());
+        }
+        let mut last = self.last_zxid();
         for txn in txns {
-            let last = self.last_zxid();
             if txn.zxid <= last {
                 return Err(StorageError::Corrupt(format!(
                     "append out of order: {} after {}",
                     txn.zxid, last
                 )));
             }
-            let rec = encode_log_record(txn);
-            self.log.write_all(&rec)?;
-            let end = self.index.last().map_or(0, |&(_, o)| o) + rec.len() as u64;
+            last = txn.zxid;
+        }
+        // Group commit without concatenation: the whole batch goes down as
+        // one vectored write chaining [prefix, payload] per record, so the
+        // refcounted payloads are never copied into a staging buffer.
+        let prefixes: Vec<[u8; RECORD_PREFIX_LEN]> = txns.iter().map(log_record_prefix).collect();
+        let mut bufs: Vec<&[u8]> = Vec::with_capacity(txns.len() * 2);
+        for (prefix, txn) in prefixes.iter().zip(txns) {
+            bufs.push(prefix);
+            bufs.push(&txn.data);
+        }
+        write_all_vectored(&mut self.log, &bufs)?;
+        let mut end = self.index.last().map_or(0, |&(_, o)| o);
+        for txn in txns {
+            end += log_record_len(txn);
             self.index.push((txn.zxid, end));
         }
         self.dirty = true;
@@ -237,20 +280,17 @@ impl Storage for FileStorage {
         Ok(())
     }
 
-    fn reset_to_snapshot(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError> {
-        self.snapshot = Some((Bytes::copy_from_slice(snapshot), zxid));
+    fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        self.snapshot = Some((snapshot, zxid));
         self.write_snapshot_file()?;
         self.rewrite_log(&[])
     }
 
-    fn compact(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError> {
+    fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
         // Collect the suffix beyond the compaction point before rewriting.
         let recovered = self.recover()?;
-        let suffix: Vec<Txn> = recovered
-            .history
-            .txns_after(zxid)
-            .to_vec();
-        self.snapshot = Some((Bytes::copy_from_slice(snapshot), zxid));
+        let suffix: Vec<Txn> = recovered.history.txns_after(zxid).to_vec();
+        self.snapshot = Some((snapshot, zxid));
         self.write_snapshot_file()?;
         self.rewrite_log(&suffix)
     }
@@ -266,10 +306,11 @@ impl Storage for FileStorage {
     fn recover(&self) -> Result<Recovered, StorageError> {
         let base = self.snapshot.as_ref().map_or(Zxid::ZERO, |&(_, z)| z);
         // Re-scan from the in-memory index's view: read the file content.
+        // The scan hands back payloads as views of this one read buffer.
         let mut data = Vec::new();
         let mut f = File::open(self.dir.join("log"))?;
         f.read_to_end(&mut data)?;
-        let scan = scan_log(&data);
+        let scan = scan_log(data);
         let txns: Vec<Txn> = scan.txns.into_iter().filter(|t| t.zxid > base).collect();
         let history = History::from_recovered(base, txns, base);
         Ok(Recovered {
@@ -290,8 +331,7 @@ mod tests {
 
     fn tempdir() -> PathBuf {
         let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("zab-log-test-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("zab-log-test-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -350,6 +390,40 @@ mod tests {
     }
 
     #[test]
+    fn torn_write_recovery_payloads_byte_identical() {
+        // Payloads spanning the interesting sizes: empty, sub-block, and
+        // larger than the 64 KiB read granularity.
+        let payloads: Vec<Vec<u8>> =
+            vec![Vec::new(), vec![0x5A; 1024], (0..64 * 1024).map(|i| (i % 251) as u8).collect()];
+        let txns: Vec<Txn> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Txn::new(Zxid::new(Epoch(1), i as u32 + 1), p.clone()))
+            .collect();
+
+        let dir = tempdir();
+        {
+            let mut s = FileStorage::open(&dir).unwrap();
+            s.append_txns(&txns).unwrap();
+            s.flush().unwrap();
+        }
+        // Tear a fourth record mid-payload.
+        let mut partial = encode_log_record(&Txn::new(Zxid::new(Epoch(1), 4), vec![0xEE; 4096]));
+        partial.truncate(partial.len() - 1000);
+        let mut f = OpenOptions::new().append(true).open(dir.join("log")).unwrap();
+        f.write_all(&partial).unwrap();
+        drop(f);
+
+        let s = FileStorage::open(&dir).unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.history.len(), txns.len());
+        for (recovered, original) in r.history.txns().iter().zip(&txns) {
+            assert_eq!(recovered.zxid, original.zxid);
+            assert_eq!(recovered.data, original.data, "payload differs at {}", original.zxid);
+        }
+    }
+
+    #[test]
     fn truncate_then_reopen() {
         let dir = tempdir();
         {
@@ -372,7 +446,8 @@ mod tests {
             let mut s = FileStorage::open(&dir).unwrap();
             s.append_txns(&[txn(1, 1)]).unwrap();
             s.flush().unwrap();
-            s.reset_to_snapshot(b"full state", Zxid::new(Epoch(1), 40)).unwrap();
+            s.reset_to_snapshot(Bytes::from_static(b"full state"), Zxid::new(Epoch(1), 40))
+                .unwrap();
             s.append_txns(&[txn(1, 41)]).unwrap();
             s.flush().unwrap();
         }
@@ -390,7 +465,7 @@ mod tests {
             let mut s = FileStorage::open(&dir).unwrap();
             s.append_txns(&[txn(1, 1), txn(1, 2), txn(1, 3)]).unwrap();
             s.flush().unwrap();
-            s.compact(b"state@2", Zxid::new(Epoch(1), 2)).unwrap();
+            s.compact(Bytes::from_static(b"state@2"), Zxid::new(Epoch(1), 2)).unwrap();
         }
         let s = FileStorage::open(&dir).unwrap();
         assert_eq!(s.log_records(), 1);
@@ -404,10 +479,7 @@ mod tests {
         let dir = tempdir();
         let mut s = FileStorage::open(&dir).unwrap();
         s.append_txns(&[txn(1, 5)]).unwrap();
-        assert!(matches!(
-            s.append_txns(&[txn(1, 4)]),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(s.append_txns(&[txn(1, 4)]), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
@@ -420,9 +492,6 @@ mod tests {
         let mut data = fs::read(dir.join("epochs")).unwrap();
         data[0] ^= 0xFF;
         fs::write(dir.join("epochs"), &data).unwrap();
-        assert!(matches!(
-            FileStorage::open(&dir),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(FileStorage::open(&dir), Err(StorageError::Corrupt(_))));
     }
 }

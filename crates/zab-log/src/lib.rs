@@ -142,9 +142,12 @@ pub trait Storage {
     /// Replaces log and snapshot: the snapshot covers everything up to
     /// `zxid`; the log restarts empty after it. Implies a flush.
     ///
+    /// The snapshot arrives as refcounted [`bytes::Bytes`] so a snapshot
+    /// received off the wire (SNAP sync) is stored without another copy.
+    ///
     /// # Errors
     /// Propagates underlying I/O failures.
-    fn reset_to_snapshot(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError>;
+    fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError>;
 
     /// Compacts the log: stores `snapshot` covering up to `zxid` and drops
     /// log entries at or below it. Unlike [`Storage::reset_to_snapshot`]
@@ -152,7 +155,7 @@ pub trait Storage {
     ///
     /// # Errors
     /// Propagates underlying I/O failures.
-    fn compact(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError>;
+    fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError>;
 
     /// Makes all buffered writes durable.
     ///
@@ -179,7 +182,7 @@ pub trait Storage {
             PersistRequest::AppendTxns(txns) => self.append_txns(txns),
             PersistRequest::TruncateLog(to) => self.truncate(*to),
             PersistRequest::ResetToSnapshot { snapshot, zxid } => {
-                self.reset_to_snapshot(snapshot, *zxid)
+                self.reset_to_snapshot(snapshot.clone(), *zxid)
             }
         }
     }

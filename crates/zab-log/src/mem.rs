@@ -148,19 +148,13 @@ impl Storage for MemStorage {
         Ok(())
     }
 
-    fn reset_to_snapshot(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError> {
-        self.record(JournalOp::Reset {
-            snapshot: Bytes::copy_from_slice(snapshot),
-            zxid,
-        });
+    fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        self.record(JournalOp::Reset { snapshot, zxid });
         self.flush()
     }
 
-    fn compact(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), StorageError> {
-        self.record(JournalOp::Compact {
-            snapshot: Bytes::copy_from_slice(snapshot),
-            zxid,
-        });
+    fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        self.record(JournalOp::Compact { snapshot, zxid });
         self.flush()
     }
 
@@ -217,19 +211,13 @@ mod tests {
     fn out_of_order_append_rejected() {
         let mut s = MemStorage::new();
         s.append_txns(&[txn(1, 2)]).unwrap();
-        assert!(matches!(
-            s.append_txns(&[txn(1, 1)]),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(s.append_txns(&[txn(1, 1)]), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
     fn out_of_order_within_one_batch_rejected() {
         let mut s = MemStorage::new();
-        assert!(matches!(
-            s.append_txns(&[txn(1, 2), txn(1, 1)]),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(s.append_txns(&[txn(1, 2), txn(1, 1)]), Err(StorageError::Corrupt(_))));
         // The failed batch must not have been half-applied.
         assert_eq!(s.log_len(), 0);
     }
@@ -261,7 +249,7 @@ mod tests {
     fn reset_to_snapshot_is_durable_immediately() {
         let mut s = MemStorage::new();
         s.append_txns(&[txn(1, 1)]).unwrap();
-        s.reset_to_snapshot(b"snap", Zxid::new(Epoch(1), 50)).unwrap();
+        s.reset_to_snapshot(Bytes::from_static(b"snap"), Zxid::new(Epoch(1), 50)).unwrap();
         s.crash();
         let r = s.recover().unwrap();
         assert_eq!(r.history.base(), Zxid::new(Epoch(1), 50));
@@ -273,7 +261,7 @@ mod tests {
     fn compact_keeps_suffix() {
         let mut s = MemStorage::new();
         s.append_txns(&[txn(1, 1), txn(1, 2), txn(1, 3)]).unwrap();
-        s.compact(b"snap@2", Zxid::new(Epoch(1), 2)).unwrap();
+        s.compact(Bytes::from_static(b"snap@2"), Zxid::new(Epoch(1), 2)).unwrap();
         let r = s.recover().unwrap();
         assert_eq!(r.history.base(), Zxid::new(Epoch(1), 2));
         assert_eq!(r.history.len(), 1);

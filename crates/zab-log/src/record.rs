@@ -29,17 +29,46 @@
 //! +--------------+--------------------+-------------+
 //! ```
 
+use bytes::Bytes;
 use zab_core::{Epoch, Txn, Zxid};
-use zab_wire::codec::{WireRead, WireWrite};
+use zab_wire::codec::{BytesCursor, WireRead, WireWrite};
 use zab_wire::crc32c::crc32c;
 
 use crate::StorageError;
 
-/// Encodes one transaction as a checksummed log record.
+/// Fixed-size prefix of a log record: the frame header (len + crc)
+/// followed by the body's zxid and payload-length fields. A record on
+/// disk is this prefix immediately followed by the raw payload bytes, so
+/// an append can hand `[prefix, payload]` to a vectored write without
+/// assembling the record in a contiguous buffer first.
+pub const RECORD_PREFIX_LEN: usize = zab_wire::frame::HEADER_LEN + 12;
+
+/// Computes the 20-byte record prefix for `txn`. The full record is this
+/// prefix followed by `txn.data` verbatim.
+pub fn log_record_prefix(txn: &Txn) -> [u8; RECORD_PREFIX_LEN] {
+    let zxid = txn.zxid.0.to_le_bytes();
+    let dlen = (txn.data.len() as u32).to_le_bytes();
+    let header = zab_wire::frame::frame_header(&[&zxid, &dlen, &txn.data]);
+    let mut out = [0u8; RECORD_PREFIX_LEN];
+    out[..8].copy_from_slice(&header);
+    out[8..16].copy_from_slice(&zxid);
+    out[16..].copy_from_slice(&dlen);
+    out
+}
+
+/// On-disk size of the record for `txn`.
+pub fn log_record_len(txn: &Txn) -> u64 {
+    (RECORD_PREFIX_LEN + txn.data.len()) as u64
+}
+
+/// Encodes one transaction as a contiguous checksummed log record (the
+/// payload is copied exactly once, into the returned buffer).
 pub fn encode_log_record(txn: &Txn) -> Vec<u8> {
-    let mut body = Vec::with_capacity(12 + txn.data.len());
-    txn.encode(&mut body);
-    zab_wire::frame::encode_frame(&body)
+    let prefix = log_record_prefix(txn);
+    let mut out = Vec::with_capacity(RECORD_PREFIX_LEN + txn.data.len());
+    out.extend_from_slice(&prefix);
+    out.extend_from_slice(&txn.data);
+    out
 }
 
 /// Result of scanning a log byte stream.
@@ -56,18 +85,25 @@ pub struct LogScan {
 /// Scans raw log bytes, returning every intact record and the length of
 /// the valid prefix. Corruption mid-file (not at the tail) still stops the
 /// scan — the caller decides whether truncating there is acceptable.
-pub fn scan_log(data: &[u8]) -> LogScan {
+///
+/// The scan is CRC-verified but copy-free: `data` becomes one refcounted
+/// buffer and every recovered `Txn` payload is a [`Bytes`] view into it,
+/// so replaying a large log allocates nothing per record.
+pub fn scan_log(data: impl Into<Bytes>) -> LogScan {
+    let data: Bytes = data.into();
+    let total = data.len() as u64;
     let mut dec = zab_wire::frame::FrameDecoder::new();
-    dec.extend(data);
+    dec.extend_bytes(data);
     let mut txns = Vec::new();
     let mut valid_len = 0u64;
     loop {
         match dec.next_frame() {
             Ok(Some(payload)) => {
-                let mut cur = payload.as_slice();
+                let record_len = (zab_wire::frame::HEADER_LEN + payload.len()) as u64;
+                let mut cur = BytesCursor::new(payload);
                 match Txn::decode(&mut cur) {
-                    Ok(txn) if cur.is_empty() => {
-                        valid_len += (zab_wire::frame::HEADER_LEN + payload.len()) as u64;
+                    Ok(txn) if cur.wire_is_empty() => {
+                        valid_len += record_len;
                         txns.push(txn);
                     }
                     _ => {
@@ -77,7 +113,7 @@ pub fn scan_log(data: &[u8]) -> LogScan {
                 }
             }
             Ok(None) => {
-                let torn = valid_len != data.len() as u64;
+                let torn = valid_len != total;
                 return LogScan { txns, valid_len, torn_tail: torn };
             }
             Err(_) => {
@@ -130,23 +166,31 @@ pub fn encode_snapshot(zxid: Zxid, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a snapshot file.
+/// Decodes a snapshot file. The returned payload is a zero-copy view of
+/// `data` (CRC verification is a read pass, not a copy).
 ///
 /// # Errors
 ///
 /// Returns [`StorageError::Corrupt`] on bad length or checksum.
-pub fn decode_snapshot(data: &[u8]) -> Result<(Zxid, Vec<u8>), StorageError> {
+pub fn decode_snapshot(data: impl Into<Bytes>) -> Result<(Zxid, Bytes), StorageError> {
+    let data: Bytes = data.into();
     if data.len() < 12 {
         return Err(StorageError::Corrupt("snapshot file too short".into()));
     }
-    let (body, crc_bytes) = data.split_at(data.len() - 4);
-    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-    if crc32c(body) != stored {
+    let body_len = data.len() - 4;
+    let stored = u32::from_le_bytes([
+        data[body_len],
+        data[body_len + 1],
+        data[body_len + 2],
+        data[body_len + 3],
+    ]);
+    if crc32c(&data[..body_len]) != stored {
         return Err(StorageError::Corrupt("snapshot checksum mismatch".into()));
     }
-    let mut cur = body;
-    let zxid = Zxid(cur.get_u64_le_wire().expect("length checked"));
-    Ok((zxid, cur.to_vec()))
+    let zxid = Zxid(u64::from_le_bytes([
+        data[0], data[1], data[2], data[3], data[4], data[5], data[6], data[7],
+    ]));
+    Ok((zxid, data.slice(8..body_len)))
 }
 
 #[cfg(test)]
@@ -163,9 +207,10 @@ mod tests {
         for c in 1..=5 {
             data.extend(encode_log_record(&txn(c)));
         }
-        let scan = scan_log(&data);
+        let total = data.len() as u64;
+        let scan = scan_log(data);
         assert!(!scan.torn_tail);
-        assert_eq!(scan.valid_len, data.len() as u64);
+        assert_eq!(scan.valid_len, total);
         assert_eq!(scan.txns.len(), 5);
         assert_eq!(scan.txns[4].zxid, Zxid::new(Epoch(1), 5));
     }
@@ -178,7 +223,7 @@ mod tests {
         let mut partial = encode_log_record(&txn(2));
         partial.truncate(partial.len() - 3);
         data.extend(partial);
-        let scan = scan_log(&data);
+        let scan = scan_log(data);
         assert!(scan.torn_tail);
         assert_eq!(scan.valid_len, good_len);
         assert_eq!(scan.txns.len(), 1);
@@ -194,7 +239,7 @@ mod tests {
         bad[n - 1] ^= 0xFF;
         data.extend(bad);
         data.extend(encode_log_record(&txn(3)));
-        let scan = scan_log(&data);
+        let scan = scan_log(data);
         assert!(scan.torn_tail);
         assert_eq!(scan.valid_len, good_len);
         assert_eq!(scan.txns.len(), 1);
@@ -202,7 +247,7 @@ mod tests {
 
     #[test]
     fn empty_log_is_clean() {
-        let scan = scan_log(&[]);
+        let scan = scan_log(Vec::new());
         assert!(!scan.torn_tail);
         assert_eq!(scan.valid_len, 0);
         assert!(scan.txns.is_empty());
@@ -225,7 +270,7 @@ mod tests {
     #[test]
     fn snapshot_round_trip() {
         let data = encode_snapshot(Zxid::new(Epoch(3), 9), b"app state");
-        let (zxid, payload) = decode_snapshot(&data).unwrap();
+        let (zxid, payload) = decode_snapshot(data).unwrap();
         assert_eq!(zxid, Zxid::new(Epoch(3), 9));
         assert_eq!(payload, b"app state");
     }
@@ -234,13 +279,13 @@ mod tests {
     fn snapshot_detects_corruption() {
         let mut data = encode_snapshot(Zxid::new(Epoch(3), 9), b"app state");
         data[9] ^= 0x10;
-        assert!(decode_snapshot(&data).is_err());
+        assert!(decode_snapshot(data).is_err());
     }
 
     #[test]
     fn empty_snapshot_payload_allowed() {
         let data = encode_snapshot(Zxid::ZERO, b"");
-        let (zxid, payload) = decode_snapshot(&data).unwrap();
+        let (zxid, payload) = decode_snapshot(data).unwrap();
         assert_eq!(zxid, Zxid::ZERO);
         assert!(payload.is_empty());
     }

@@ -1,6 +1,7 @@
 //! Property tests: the in-memory and file-backed stores agree under every
 //! operation sequence, and file recovery tolerates arbitrary tail damage.
 
+use bytes::Bytes;
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,12 +42,7 @@ fn store_op() -> impl Strategy<Value = StoreOp> {
 }
 
 /// Applies one op identically to both stores; returns updated txn counter.
-fn apply_both(
-    op: &StoreOp,
-    mem: &mut MemStorage,
-    file: &mut FileStorage,
-    counter: &mut u32,
-) {
+fn apply_both(op: &StoreOp, mem: &mut MemStorage, file: &mut FileStorage, counter: &mut u32) {
     match op {
         StoreOp::Append { count, payload } => {
             for _ in 0..*count {
@@ -58,12 +54,7 @@ fn apply_both(
         }
         StoreOp::Truncate { back } => {
             let to = counter.saturating_sub(*back as u32);
-            let base_counter = mem
-                .recover()
-                .expect("recover")
-                .history
-                .base()
-                .counter();
+            let base_counter = mem.recover().expect("recover").history.base().counter();
             let to = to.max(base_counter);
             if to == 0 {
                 return; // would truncate into a ZERO base with epoch 0
@@ -97,14 +88,14 @@ fn apply_both(
             if z <= mem.recover().expect("recover").history.base() {
                 return;
             }
-            mem.compact(b"snapshot", z).expect("mem compact");
-            file.compact(b"snapshot", z).expect("file compact");
+            mem.compact(Bytes::from_static(b"snapshot"), z).expect("mem compact");
+            file.compact(Bytes::from_static(b"snapshot"), z).expect("file compact");
         }
         StoreOp::Reset { payload } => {
             *counter += 10;
             let z = Zxid::new(Epoch(1), *counter);
-            mem.reset_to_snapshot(&[*payload; 8], z).expect("mem reset");
-            file.reset_to_snapshot(&[*payload; 8], z).expect("file reset");
+            mem.reset_to_snapshot(Bytes::copy_from_slice(&[*payload; 8]), z).expect("mem reset");
+            file.reset_to_snapshot(Bytes::copy_from_slice(&[*payload; 8]), z).expect("file reset");
         }
     }
 }

@@ -138,19 +138,14 @@ impl KvApp {
 impl Application for KvApp {
     fn execute(&mut self, request: &[u8]) -> Result<Vec<u8>, String> {
         let op = Op::decode(request).map_err(|e| format!("bad op: {e}"))?;
-        let primary = self
-            .primary
-            .as_mut()
-            .expect("execute only called while primary");
+        let primary = self.primary.as_mut().expect("execute only called while primary");
         let (delta, _result) = primary.execute(&op).map_err(|e| e.to_string())?;
         Ok(delta.encode())
     }
 
     fn apply(&mut self, txn: &Txn) {
         let delta = Delta::decode(&txn.data).expect("replicated deltas are well-formed");
-        self.committed
-            .apply(&delta)
-            .expect("primary order guarantees deltas apply cleanly");
+        self.committed.apply(&delta).expect("primary order guarantees deltas apply cleanly");
         self.applied_to = txn.zxid;
     }
 
@@ -172,8 +167,7 @@ impl Application for KvApp {
     }
 
     fn on_role_change(&mut self, is_primary: bool) {
-        self.primary =
-            is_primary.then(|| PrimaryExecutor::new(self.committed.clone()));
+        self.primary = is_primary.then(|| PrimaryExecutor::new(self.committed.clone()));
     }
 }
 
@@ -204,9 +198,7 @@ mod tests {
         primary.on_role_change(true);
         let mut backup = KvApp::new();
 
-        let delta = primary
-            .execute(&Op::create("/cfg", b"v".to_vec()).encode())
-            .expect("create");
+        let delta = primary.execute(&Op::create("/cfg", b"v".to_vec()).encode()).expect("create");
         let t = txn(1, delta);
         primary.apply(&t);
         backup.apply(&t);

@@ -8,9 +8,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use zab_core::{
-    Action, Epoch, Input, PersistRequest, PersistToken, ServerId, Txn, Zab, Zxid,
-};
+use zab_core::{Action, Epoch, Input, PersistRequest, PersistToken, ServerId, Txn, Zab, Zxid};
 use zab_election::{Election, ElectionAction, ElectionInput, Vote};
 use zab_log::{FileStorage, MemStorage, Storage};
 use zab_transport::{Transport, TransportEvent, TransportMsg};
@@ -64,7 +62,7 @@ enum DiskCmd {
     /// already queued (a delivered txn's own append may still be in the
     /// queue when the event loop decides to compact).
     Compact {
-        snapshot: Vec<u8>,
+        snapshot: Bytes,
         through: Zxid,
     },
 }
@@ -114,9 +112,7 @@ impl<A: Application> Replica<A> {
                 let mut compact = None;
                 match first {
                     DiskCmd::Persist(t, r) => batch.push((t, r)),
-                    DiskCmd::Compact { snapshot, through } => {
-                        compact = Some((snapshot, through))
-                    }
+                    DiskCmd::Compact { snapshot, through } => compact = Some((snapshot, through)),
                 }
                 // Group commit: drain consecutive persists; a compaction
                 // command ends the batch (it must run after the flush).
@@ -152,7 +148,7 @@ impl<A: Application> Replica<A> {
                     }
                 }
                 if let Some((snapshot, through)) = compact {
-                    if disk_storage.lock().compact(&snapshot, through).is_err() {
+                    if disk_storage.lock().compact(snapshot, through).is_err() {
                         return;
                     }
                 }
@@ -383,23 +379,20 @@ impl<A: Application> EventLoop<A> {
                 }
                 Action::GoToElection { .. } => {
                     self.zab = None;
-                    let rec = self
-                        .storage
-                        .lock()
-                        .recover()
-                        .unwrap_or_else(|e| panic!("storage recover failed on {}: {e}", self.id));
+                    let rec =
+                        self.storage.lock().recover().unwrap_or_else(|e| {
+                            panic!("storage recover failed on {}: {e}", self.id)
+                        });
                     let now_ms = self.now_ms();
                     let el = self.election.as_mut().expect("election exists");
-                    let acts =
-                        el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
+                    let acts = el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
                     self.route_election(acts);
                 }
                 Action::Activated { .. } | Action::Committed { .. } => {}
                 Action::ClientRequestRejected { data, reason } => {
-                    let _ = self.events_tx.send(NodeEvent::Rejected {
-                        request: data,
-                        reason: format!("{reason:?}"),
-                    });
+                    let _ = self
+                        .events_tx
+                        .send(NodeEvent::Rejected { request: data, reason: format!("{reason:?}") });
                 }
             }
         }
@@ -411,7 +404,7 @@ impl<A: Application> EventLoop<A> {
     fn compact(&mut self) {
         let (snapshot, through) = {
             let app = self.app.lock();
-            (app.snapshot(), app.applied_to())
+            (Bytes::from(app.snapshot()), app.applied_to())
         };
         let _ = self.disk_tx.send(DiskCmd::Compact { snapshot, through });
         self.feed_zab(Input::Compact { through });
@@ -440,10 +433,9 @@ impl<A: Application> EventLoop<A> {
     fn current_role(&self) -> Role {
         match &self.zab {
             None => Role::Looking,
-            Some(Zab::Leader(l)) => Role::Leading {
-                established: l.is_established(),
-                epoch: l.epoch(),
-            },
+            Some(Zab::Leader(l)) => {
+                Role::Leading { established: l.is_established(), epoch: l.epoch() }
+            }
             Some(Zab::Follower(f)) => Role::Following {
                 leader: f.leader(),
                 active: f.status() == zab_core::FollowerStatus::Active,

@@ -120,10 +120,7 @@ fn leader_shutdown_fails_over() {
     }
     // Ensure the writes committed before killing the leader.
     let survivor = book.keys().copied().find(|&id| id != leader).expect("a survivor");
-    assert_eq!(
-        drain_deliveries(&replicas[&survivor], 5, Duration::from_secs(10)).len(),
-        5
-    );
+    assert_eq!(drain_deliveries(&replicas[&survivor], 5, Duration::from_secs(10)).len(), 5);
     replicas.remove(&leader).expect("leader exists").shutdown();
 
     let new_leader = wait_for_leader(&replicas, Duration::from_secs(15)).expect("failover");
@@ -151,7 +148,8 @@ fn kv_app_sequential_creates_over_tcp() {
         .collect();
     let leader = wait_for_leader(&replicas, Duration::from_secs(10)).expect("leader");
     for _ in 0..3 {
-        replicas[&leader].submit(zab_kv::Op::create_sequential("/job-", b"payload".to_vec()).encode());
+        replicas[&leader]
+            .submit(zab_kv::Op::create_sequential("/job-", b"payload".to_vec()).encode());
     }
     // Wait for all three deliveries at a follower and verify the tree.
     let follower = book.keys().copied().find(|&id| id != leader).expect("a follower");
@@ -181,10 +179,7 @@ fn file_backed_replica_recovers_after_restart() {
         replicas[&leader].submit(i.to_le_bytes().to_vec());
     }
     let follower = book.keys().copied().find(|&id| id != leader).expect("a follower");
-    assert_eq!(
-        drain_deliveries(&replicas[&follower], 10, Duration::from_secs(10)).len(),
-        10
-    );
+    assert_eq!(drain_deliveries(&replicas[&follower], 10, Duration::from_secs(10)).len(), 10);
 
     // Restart the follower from its files; it must catch up (its app is
     // fresh, so all ten transactions are re-delivered after sync).

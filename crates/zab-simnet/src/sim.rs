@@ -13,12 +13,8 @@ use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
-use zab_core::{
-    Action, ClusterConfig, Input, Message, PersistToken, ServerId, Zab,
-};
-use zab_election::{
-    Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote,
-};
+use zab_core::{Action, ClusterConfig, Input, Message, PersistToken, ServerId, Zab};
+use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
 use zab_log::{MemStorage, Storage};
 
 /// What travels on a simulated link.
@@ -462,11 +458,8 @@ impl Sim {
     /// Returns the first [`CheckerError`] found; any error is an
     /// implementation bug.
     pub fn check_invariants(&self) -> Result<(), CheckerError> {
-        let logs: Vec<(ServerId, &[crate::app::Applied])> = self
-            .nodes
-            .iter()
-            .map(|(&id, n)| (id, n.app.entries()))
-            .collect();
+        let logs: Vec<(ServerId, &[crate::app::Applied])> =
+            self.nodes.iter().map(|(&id, n)| (id, n.app.entries())).collect();
         check_all(&logs, Some(&self.broadcast_hashes))
     }
 
@@ -477,12 +470,8 @@ impl Sim {
     ///
     /// Returns a description of the first divergence in lengths.
     pub fn check_converged(&self) -> Result<(), String> {
-        let lens: BTreeMap<ServerId, usize> = self
-            .nodes
-            .iter()
-            .filter(|(_, n)| n.up)
-            .map(|(&id, n)| (id, n.app.len()))
-            .collect();
+        let lens: BTreeMap<ServerId, usize> =
+            self.nodes.iter().filter(|(_, n)| n.up).map(|(&id, n)| (id, n.app.len())).collect();
         let mut values: Vec<usize> = lens.values().copied().collect();
         values.dedup();
         if values.len() > 1 {
@@ -503,11 +492,8 @@ impl Sim {
     fn boot_node(&mut self, id: ServerId) {
         let node = self.nodes.get_mut(&id).expect("known node");
         let rec = node.storage.recover().expect("mem storage recovers");
-        let vote = Vote {
-            peer_epoch: rec.current_epoch,
-            last_zxid: rec.history.last_zxid(),
-            leader: id,
-        };
+        let vote =
+            Vote { peer_epoch: rec.current_epoch, last_zxid: rec.history.last_zxid(), leader: id };
         let now_ms = self.now_us / 1_000;
         let (election, acts) = Election::new(id, self.election_cfg.clone(), vote, now_ms);
         node.election = Some(election);
@@ -551,8 +537,7 @@ impl Sim {
                     13 + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
                 }
                 Message::SyncSnap { snapshot, txns, .. } => {
-                    13 + snapshot.len()
-                        + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
+                    13 + snapshot.len() + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
                 }
             },
         };
@@ -611,9 +596,7 @@ impl Sim {
                 self.stats.messages_delivered += 1;
                 self.stats.bytes_delivered += size as u64;
                 match wire {
-                    Wire::Zab(msg) => {
-                        self.feed(to, LocalInput::Zab(Input::Message { from, msg }))
-                    }
+                    Wire::Zab(msg) => self.feed(to, LocalInput::Zab(Input::Message { from, msg })),
                     Wire::Election(notification) => self.feed(
                         to,
                         LocalInput::Election(ElectionInput::Notification { from, notification }),
@@ -760,11 +743,9 @@ impl Sim {
                     if let Some(every) = self.cfg.compact_every {
                         if node.delivered_since_compact >= every {
                             node.delivered_since_compact = 0;
-                            let snapshot = node.app.snapshot();
+                            let snapshot = Bytes::from(node.app.snapshot());
                             let through = node.app.last_zxid();
-                            node.storage
-                                .compact(&snapshot, through)
-                                .expect("mem storage compacts");
+                            node.storage.compact(snapshot, through).expect("mem storage compacts");
                             inbox.push_back((id, LocalInput::Zab(Input::Compact { through })));
                         }
                     }

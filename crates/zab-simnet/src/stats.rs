@@ -74,9 +74,7 @@ pub struct SimStats {
 impl SimStats {
     /// Latency summary over completed operations.
     pub fn latency(&self) -> Option<LatencyStats> {
-        LatencyStats::from_samples(
-            self.ops.iter().map(|o| o.completed_us - o.issued_us).collect(),
-        )
+        LatencyStats::from_samples(self.ops.iter().map(|o| o.completed_us - o.issued_us).collect())
     }
 
     /// Throughput in operations per *virtual* second over the span of
@@ -126,11 +124,7 @@ mod tests {
     fn throughput_spans_completions() {
         let mut stats = SimStats::default();
         for i in 0..11u64 {
-            stats.ops.push(OpRecord {
-                op_id: i,
-                issued_us: i * 100,
-                completed_us: i * 100_000,
-            });
+            stats.ops.push(OpRecord { op_id: i, issued_us: i * 100, completed_us: i * 100_000 });
         }
         // 11 ops over 1 second span → 10 intervals / 1s.
         let tput = stats.throughput_ops_per_sec().unwrap();

@@ -30,12 +30,7 @@ fn same_seed_same_run() {
         sim.run_until_leader(10 * SEC).expect("leader");
         sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 200));
         sim.run_until_completed(200, 30 * SEC);
-        (
-            sim.now_us(),
-            sim.stats().messages_delivered,
-            sim.stats().ops.len(),
-            sim.leader(),
-        )
+        (sim.now_us(), sim.stats().messages_delivered, sim.stats().ops.len(), sim.leader())
     };
     assert_eq!(run(7), run(7));
     // And a different seed takes a different trajectory.
@@ -86,10 +81,7 @@ fn follower_crash_restart_catches_up() {
 
 #[test]
 fn leader_crash_fails_over_and_preserves_history() {
-    let mut sim = SimBuilder::new(3)
-        .seed(5)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim = SimBuilder::new(3).seed(5).timeouts_ms(200, 200, 25).build();
     let leader = sim.run_until_leader(10 * SEC).expect("leader");
     sim.install_closed_loop(ClosedLoopSpec::saturating(4, 64, 400));
     assert!(sim.run_until_completed(150, 30 * SEC));
@@ -109,10 +101,7 @@ fn leader_crash_fails_over_and_preserves_history() {
 
 #[test]
 fn repeated_leader_crashes_never_violate_safety() {
-    let mut sim = SimBuilder::new(5)
-        .seed(6)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim = SimBuilder::new(5).seed(6).timeouts_ms(200, 200, 25).build();
     sim.run_until_leader(10 * SEC).expect("leader");
     sim.install_closed_loop(ClosedLoopSpec {
         clients: 8,
@@ -132,8 +121,7 @@ fn repeated_leader_crashes_never_violate_safety() {
             crashed = Some(l);
         }
         sim.run_for(3 * SEC);
-        sim.check_invariants()
-            .unwrap_or_else(|e| panic!("safety violated in round {round}: {e}"));
+        sim.check_invariants().unwrap_or_else(|e| panic!("safety violated in round {round}: {e}"));
     }
     if let Some(old) = crashed {
         sim.restart(old);
@@ -249,10 +237,7 @@ fn two_node_ensemble_survives_follower_blip() {
 fn periodic_compaction_with_lagging_follower_snap_resync() {
     // With aggressive compaction, a follower that misses many transactions
     // finds the leader's log truncated and must take a snapshot sync.
-    let mut sim = SimBuilder::new(3)
-        .seed(12)
-        .compact_every(Some(100))
-        .build();
+    let mut sim = SimBuilder::new(3).seed(12).compact_every(Some(100)).build();
     let leader = sim.run_until_leader(10 * SEC).expect("leader");
     let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
     sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 800));
@@ -270,10 +255,7 @@ fn periodic_compaction_with_lagging_follower_snap_resync() {
 #[test]
 fn compaction_survives_crash_recovery() {
     // Compacted nodes recover from snapshot + log suffix.
-    let mut sim = SimBuilder::new(3)
-        .seed(13)
-        .compact_every(Some(50))
-        .build();
+    let mut sim = SimBuilder::new(3).seed(13).compact_every(Some(50)).build();
     let leader = sim.run_until_leader(10 * SEC).expect("leader");
     let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
     sim.install_closed_loop(ClosedLoopSpec::saturating(8, 64, 400));

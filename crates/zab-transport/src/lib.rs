@@ -22,10 +22,11 @@
 //! ensembles are small (3–13 servers), so clarity beats an async runtime
 //! here, and the crate stays within the workspace's dependency policy.
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,7 +34,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 use zab_core::{Message, ServerId};
 use zab_election::Notification;
-use zab_wire::frame::{encode_frame, FrameDecoder};
+use zab_wire::frame::{frame_header, FrameDecoder, HEADER_LEN};
 
 /// A message on the mesh: protocol or election traffic.
 #[derive(Debug, Clone)]
@@ -45,26 +46,32 @@ pub enum TransportMsg {
 }
 
 impl TransportMsg {
-    fn encode(&self) -> Vec<u8> {
+    /// Encodes channel tag + message into one buffer, returned as
+    /// refcounted [`Bytes`]: fanning the same message out to several peers
+    /// clones the handle, never the encoded bytes.
+    fn encode(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(16);
         match self {
             TransportMsg::Zab(m) => {
-                let mut buf = vec![0u8];
-                buf.extend(m.encode());
-                buf
+                buf.push(0u8);
+                m.encode_into(&mut buf);
             }
             TransportMsg::Election(n) => {
-                let mut buf = vec![1u8];
+                buf.push(1u8);
                 buf.extend(n.encode());
-                buf
             }
         }
+        Bytes::from(buf)
     }
 
-    fn decode(data: &[u8]) -> Option<TransportMsg> {
-        let (&tag, rest) = data.split_first()?;
+    /// Decodes a channel-tagged frame payload. Zab transaction payloads
+    /// come back as zero-copy views of `data`.
+    fn decode(data: Bytes) -> Option<TransportMsg> {
+        let &tag = data.first()?;
+        let rest = data.slice(1..);
         match tag {
-            0 => Message::decode(rest).ok().map(TransportMsg::Zab),
-            1 => Notification::decode(rest).ok().map(TransportMsg::Election),
+            0 => Message::decode_bytes(rest).ok().map(TransportMsg::Zab),
+            1 => Notification::decode(&rest).ok().map(TransportMsg::Election),
             _ => None,
         }
     }
@@ -87,9 +94,10 @@ pub enum TransportEvent {
     },
 }
 
-/// Commands to a per-peer sender thread.
+/// Commands to a per-peer sender thread. Payloads are refcounted so a
+/// broadcast enqueues N handles to one encoding.
 enum SendCmd {
-    Msg(Vec<u8>),
+    Msg(Bytes),
     Stop,
 }
 
@@ -150,14 +158,7 @@ impl Transport {
             }));
         }
 
-        Ok(Transport {
-            id,
-            senders,
-            events_rx,
-            stop,
-            threads: Mutex::new(threads),
-            local_addr,
-        })
+        Ok(Transport { id, senders, events_rx, stop, threads: Mutex::new(threads), local_addr })
     }
 
     /// This endpoint's server id.
@@ -176,6 +177,16 @@ impl Transport {
     pub fn send(&self, peer: ServerId, msg: TransportMsg) {
         if let Some(tx) = self.senders.get(&peer) {
             let _ = tx.send(SendCmd::Msg(msg.encode()));
+        }
+    }
+
+    /// Queues `msg` for every peer, encoding it exactly once: each sender
+    /// thread receives a clone of the same refcounted buffer, so the
+    /// per-peer cost is independent of the payload size.
+    pub fn broadcast(&self, msg: TransportMsg) {
+        let encoded = msg.encode();
+        for tx in self.senders.values() {
+            let _ = tx.send(SendCmd::Msg(encoded.clone()));
         }
     }
 
@@ -200,11 +211,7 @@ impl Drop for Transport {
 const RETRY_DELAY: Duration = Duration::from_millis(50);
 const POLL_DELAY: Duration = Duration::from_millis(5);
 
-fn accept_loop(
-    listener: TcpListener,
-    events_tx: Sender<TransportEvent>,
-    stop: Arc<AtomicBool>,
-) {
+fn accept_loop(listener: TcpListener, events_tx: Sender<TransportEvent>, stop: Arc<AtomicBool>) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -249,9 +256,8 @@ fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: A
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(payload)) => {
-                            if let Some(msg) = TransportMsg::decode(&payload) {
-                                let _ = events_tx
-                                    .send(TransportEvent::Message { from: peer, msg });
+                            if let Some(msg) = TransportMsg::decode(payload) {
+                                let _ = events_tx.send(TransportEvent::Message { from: peer, msg });
                             }
                         }
                         Ok(None) => break,
@@ -336,8 +342,7 @@ fn sender_loop(
                     }
                 }
                 let stream = conn.as_mut().expect("just ensured");
-                let frame = encode_frame(&payload);
-                if stream.write_all(&frame).is_err() {
+                if write_frame(stream, &payload).is_err() {
                     conn = None;
                     let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
                 }
@@ -351,6 +356,29 @@ fn sender_loop(
             }
         }
     }
+}
+
+/// Writes one frame (computed header + payload) with vectored I/O: the
+/// frame is never assembled in a contiguous buffer.
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    let header = frame_header(&[payload]);
+    let total = HEADER_LEN + payload.len();
+    let mut written = 0;
+    while written < total {
+        let res = if written < HEADER_LEN {
+            let iov = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
+            stream.write_vectored(&iov)
+        } else {
+            stream.write(&payload[written - HEADER_LEN..])
+        };
+        match res {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn try_connect(me: ServerId, addr: SocketAddr) -> Option<TcpStream> {
@@ -446,7 +474,8 @@ mod tests {
         // Wait until the link is up (first message observed), then burst.
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            mesh[0].send(ServerId(2), TransportMsg::Zab(Message::Ping { last_committed: Zxid::ZERO }));
+            mesh[0]
+                .send(ServerId(2), TransportMsg::Zab(Message::Ping { last_committed: Zxid::ZERO }));
             if wait_msg(&mesh[1], Duration::from_millis(200)).is_some() {
                 break;
             }
@@ -459,13 +488,13 @@ mod tests {
         let mut seen = 0u32;
         let deadline = Instant::now() + Duration::from_secs(10);
         while seen < count && Instant::now() < deadline {
-            if let Some(TransportEvent::Message { msg, .. }) =
-                wait_msg(&mesh[1], Duration::from_millis(500))
+            if let Some(TransportEvent::Message {
+                msg: TransportMsg::Zab(Message::Propose { txn }),
+                ..
+            }) = wait_msg(&mesh[1], Duration::from_millis(500))
             {
-                if let TransportMsg::Zab(Message::Propose { txn }) = msg {
-                    seen += 1;
-                    assert_eq!(txn.zxid.counter(), seen, "reordered at {seen}");
-                }
+                seen += 1;
+                assert_eq!(txn.zxid.counter(), seen, "reordered at {seen}");
             }
         }
         assert_eq!(seen, count, "lost messages on a healthy connection");
@@ -480,8 +509,22 @@ mod tests {
 
     #[test]
     fn transport_msg_decode_rejects_garbage() {
-        assert!(TransportMsg::decode(&[]).is_none());
-        assert!(TransportMsg::decode(&[7, 1, 2, 3]).is_none());
-        assert!(TransportMsg::decode(&[0, 0xFF]).is_none());
+        assert!(TransportMsg::decode(Bytes::new()).is_none());
+        assert!(TransportMsg::decode(Bytes::from_static(&[7, 1, 2, 3])).is_none());
+        assert!(TransportMsg::decode(Bytes::from_static(&[0, 0xFF])).is_none());
+    }
+
+    #[test]
+    fn encode_round_trips_through_decode() {
+        let txn = Txn::new(Zxid::new(Epoch(2), 9), Bytes::from(vec![0xAB; 4096]));
+        let msg = TransportMsg::Zab(Message::Propose { txn });
+        let encoded = msg.encode();
+        match TransportMsg::decode(encoded).expect("decodes") {
+            TransportMsg::Zab(Message::Propose { txn }) => {
+                assert_eq!(txn.zxid, Zxid::new(Epoch(2), 9));
+                assert_eq!(txn.data.as_ref(), &[0xAB; 4096][..]);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 }

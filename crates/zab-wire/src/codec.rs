@@ -2,10 +2,18 @@
 //!
 //! All multi-byte integers on the wire and in the log are little-endian.
 //! Variable-length byte strings are encoded as a `u32` length prefix followed
-//! by the raw bytes. The traits extend `Vec<u8>` on the write side and
-//! `&[u8]` cursors on the read side, so encoding needs no intermediate
-//! buffers and decoding is bounds-checked rather than panicking.
+//! by the raw bytes. The traits extend `Vec<u8>` on the write side and, on
+//! the read side, both `&[u8]` cursors and the refcounted [`BytesCursor`],
+//! so encoding needs no intermediate buffers and decoding is bounds-checked
+//! rather than panicking.
+//!
+//! The read side is where the zero-copy payload pipeline starts:
+//! [`WireRead::get_bytes_wire`] returns [`Bytes`]. Decoding from a
+//! [`BytesCursor`] (whose backing store is the refcounted receive buffer)
+//! yields payloads that are *views* of that buffer — no copy — while
+//! decoding from a plain `&[u8]` cursor pays one copy to take ownership.
 
+use bytes::Bytes;
 use std::error::Error;
 use std::fmt;
 
@@ -120,11 +128,18 @@ impl WireWrite for Vec<u8> {
     }
 }
 
-/// Read-side primitive decoding, implemented for `&[u8]` cursors.
+/// Read-side primitive decoding, implemented for `&[u8]` cursors and
+/// [`BytesCursor`].
 ///
-/// Each call consumes from the front of the slice. All methods return
-/// [`WireError::Truncated`] instead of panicking on short input.
-pub trait WireRead<'a> {
+/// Each call consumes from the front of the cursor. All methods return
+/// [`WireError::Truncated`] instead of panicking on short input, and a
+/// failed read consumes nothing.
+///
+/// Byte strings come back as [`Bytes`]: from a [`BytesCursor`] that is a
+/// zero-copy view of the cursor's backing buffer; from a `&[u8]` cursor it
+/// is one owning copy (the caller holds only a borrow, so a copy is the
+/// cheapest way to produce an owned value).
+pub trait WireRead {
     /// Reads a single byte.
     fn get_u8_wire(&mut self) -> Result<u8, WireError>;
     /// Reads a little-endian `u16`.
@@ -135,20 +150,29 @@ pub trait WireRead<'a> {
     fn get_u64_le_wire(&mut self) -> Result<u64, WireError>;
     /// Reads a little-endian `i64`.
     fn get_i64_le_wire(&mut self) -> Result<i64, WireError>;
-    /// Reads a `u32` length prefix and returns that many bytes as a slice.
-    fn get_bytes_wire(&mut self) -> Result<&'a [u8], WireError>;
+    /// Reads a `u32` length prefix and returns that many bytes.
+    fn get_bytes_wire(&mut self) -> Result<Bytes, WireError>;
     /// Reads a length-prefixed UTF-8 string.
-    fn get_str_wire(&mut self) -> Result<&'a str, WireError>;
+    fn get_str_wire(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes_wire()?;
+        String::from_utf8(bytes.into()).map_err(|_| WireError::InvalidUtf8)
+    }
     /// Reads a boolean byte; any nonzero value is `true`.
-    fn get_bool_wire(&mut self) -> Result<bool, WireError>;
+    fn get_bool_wire(&mut self) -> Result<bool, WireError> {
+        Ok(self.get_u8_wire()? != 0)
+    }
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize;
+    /// True when the cursor is exhausted.
+    fn wire_is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
 }
 
-impl<'a> WireRead<'a> for &'a [u8] {
+impl WireRead for &[u8] {
     fn get_u8_wire(&mut self) -> Result<u8, WireError> {
-        let (&b, rest) = self.split_first().ok_or(WireError::Truncated {
-            needed: 1,
-            available: 0,
-        })?;
+        let (&b, rest) =
+            self.split_first().ok_or(WireError::Truncated { needed: 1, available: 0 })?;
         *self = rest;
         Ok(b)
     }
@@ -174,35 +198,129 @@ impl<'a> WireRead<'a> for &'a [u8] {
         Ok(self.get_u64_le_wire()? as i64)
     }
 
-    fn get_bytes_wire(&mut self) -> Result<&'a [u8], WireError> {
+    fn get_bytes_wire(&mut self) -> Result<Bytes, WireError> {
         let len = self.get_u32_le_wire()? as usize;
         if len > MAX_BYTES_LEN {
             return Err(WireError::LengthOverflow { claimed: len });
         }
-        take(self, len)
+        take(self, len).map(Bytes::copy_from_slice)
     }
 
-    fn get_str_wire(&mut self) -> Result<&'a str, WireError> {
-        let bytes = self.get_bytes_wire()?;
-        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
-    }
-
-    fn get_bool_wire(&mut self) -> Result<bool, WireError> {
-        Ok(self.get_u8_wire()? != 0)
+    fn remaining(&self) -> usize {
+        self.len()
     }
 }
 
 /// Splits `n` bytes off the front of the cursor.
 fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
     if cursor.len() < n {
-        return Err(WireError::Truncated {
-            needed: n,
-            available: cursor.len(),
-        });
+        return Err(WireError::Truncated { needed: n, available: cursor.len() });
     }
     let (head, rest) = cursor.split_at(n);
     *cursor = rest;
     Ok(head)
+}
+
+/// Consuming cursor over an owned, refcounted [`Bytes`] buffer.
+///
+/// The payoff over a `&[u8]` cursor is [`WireRead::get_bytes_wire`]: the
+/// returned [`Bytes`] is a slice *view* of the backing buffer (refcount
+/// bump, no copy). A frame received from the network is decoded once and
+/// its payload flows to the log and to every follower without being
+/// copied again.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use zab_wire::codec::{BytesCursor, WireRead, WireWrite};
+///
+/// let mut buf = Vec::new();
+/// buf.put_u64_le_wire(7);
+/// buf.put_bytes_wire(b"payload");
+/// let mut cur = BytesCursor::new(Bytes::from(buf));
+/// assert_eq!(cur.get_u64_le_wire().unwrap(), 7);
+/// let payload = cur.get_bytes_wire().unwrap(); // zero-copy view
+/// assert_eq!(payload, b"payload");
+/// assert!(cur.wire_is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BytesCursor {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl BytesCursor {
+    /// Wraps `buf` in a cursor positioned at its start.
+    pub fn new(buf: Bytes) -> BytesCursor {
+        BytesCursor { buf, pos: 0 }
+    }
+
+    /// The unconsumed tail as a zero-copy view.
+    pub fn rest(&self) -> Bytes {
+        self.buf.slice(self.pos..)
+    }
+
+    /// Reserves `n` bytes, returning the start offset of the reservation.
+    fn advance(&mut self, n: usize) -> Result<usize, WireError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(WireError::Truncated { needed: n, available });
+        }
+        let start = self.pos;
+        self.pos += n;
+        Ok(start)
+    }
+
+    /// Copies the next `N` bytes into an array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let start = self.advance(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[start..start + N]);
+        Ok(out)
+    }
+}
+
+impl WireRead for BytesCursor {
+    fn get_u8_wire(&mut self) -> Result<u8, WireError> {
+        let start = self.advance(1)?;
+        Ok(self.buf[start])
+    }
+
+    fn get_u16_le_wire(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take_array()?))
+    }
+
+    fn get_u32_le_wire(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    fn get_u64_le_wire(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    fn get_i64_le_wire(&mut self) -> Result<i64, WireError> {
+        Ok(self.get_u64_le_wire()? as i64)
+    }
+
+    fn get_bytes_wire(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_u32_le_wire()? as usize;
+        if len > MAX_BYTES_LEN {
+            return Err(WireError::LengthOverflow { claimed: len });
+        }
+        match self.advance(len) {
+            Ok(start) => Ok(self.buf.slice(start..start + len)),
+            Err(e) => {
+                // Roll back the length prefix so a failed read is atomic.
+                self.pos -= 4;
+                Err(e)
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 #[cfg(test)]
@@ -238,10 +356,7 @@ mod tests {
     #[test]
     fn truncated_reads_fail_cleanly() {
         let mut cur: &[u8] = &[1, 2, 3];
-        assert_eq!(
-            cur.get_u64_le_wire(),
-            Err(WireError::Truncated { needed: 8, available: 3 })
-        );
+        assert_eq!(cur.get_u64_le_wire(), Err(WireError::Truncated { needed: 8, available: 3 }));
         // A failed read must not consume input.
         assert_eq!(cur.len(), 3);
     }
@@ -279,9 +394,6 @@ mod tests {
         buf.put_u32_le_wire(100);
         buf.extend_from_slice(&[0u8; 10]);
         let mut cur = buf.as_slice();
-        assert_eq!(
-            cur.get_bytes_wire(),
-            Err(WireError::Truncated { needed: 100, available: 10 })
-        );
+        assert_eq!(cur.get_bytes_wire(), Err(WireError::Truncated { needed: 100, available: 10 }));
     }
 }

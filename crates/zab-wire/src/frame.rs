@@ -13,11 +13,29 @@
 //! transport treats as a broken connection (Zab's channel assumption is that
 //! a channel either delivers intact data in order or fails).
 //!
-//! [`FrameDecoder`] is incremental: feed it arbitrary chunks of a stream with
-//! [`FrameDecoder::extend`] and drain complete frames with
+//! [`FrameDecoder`] is incremental: feed it arbitrary chunks of a stream
+//! with [`FrameDecoder::extend`] (or pre-owned buffers, copy-free, with
+//! [`FrameDecoder::extend_bytes`]) and drain complete frames with
 //! [`FrameDecoder::next_frame`].
+//!
+//! # Buffer ownership
+//!
+//! The decoder keeps the stream as a queue of refcounted [`Bytes`]
+//! segments — one per `extend` call — instead of one flat `Vec<u8>`.
+//! [`FrameDecoder::next_frame`] returns the payload as a zero-copy *view*
+//! of its segment whenever the frame does not straddle a segment boundary
+//! (the overwhelmingly common case: a socket read usually delivers whole
+//! frames). Only a frame torn across reads is reassembled by copying.
+//!
+//! On the write side, [`frame_header`] computes the header for a payload
+//! given as scattered parts, so senders can hand `[header, part, …]` to a
+//! vectored write instead of concatenating into a fresh allocation;
+//! [`encode_frame_into`] is the contiguous-buffer equivalent (one copy of
+//! each part, no intermediate buffer).
 
-use crate::crc32c::crc32c;
+use crate::crc32c::Crc32c;
+use bytes::Bytes;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -55,13 +73,57 @@ impl fmt::Display for FrameError {
                 write!(f, "frame length {claimed} exceeds limit {MAX_FRAME_LEN}")
             }
             FrameError::BadChecksum { expected, actual } => {
-                write!(f, "frame checksum mismatch: header {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, computed {actual:#010x}"
+                )
             }
         }
     }
 }
 
 impl Error for FrameError {}
+
+/// Computes the frame header for a payload given as scattered `parts`.
+///
+/// The parts are treated as one logical payload (their concatenation);
+/// the returned header can be passed to a vectored write together with
+/// the parts themselves, so no contiguous copy of the payload is ever
+/// made.
+///
+/// # Panics
+///
+/// Panics if the combined part length exceeds [`MAX_FRAME_LEN`].
+pub fn frame_header(parts: &[&[u8]]) -> [u8; HEADER_LEN] {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    assert!(len <= MAX_FRAME_LEN, "payload exceeds MAX_FRAME_LEN");
+    let mut crc = Crc32c::new();
+    for part in parts {
+        crc.update(part);
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc.finish().to_le_bytes());
+    header
+}
+
+/// Appends a complete frame for the scattered payload `parts` onto `out`.
+///
+/// Each part is copied exactly once, directly into `out` — there is no
+/// intermediate concatenation buffer.
+///
+/// # Panics
+///
+/// Panics if the combined part length exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame_into(out: &mut Vec<u8>, parts: &[&[u8]]) {
+    let header = frame_header(parts);
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    out.reserve(HEADER_LEN + len);
+    out.extend_from_slice(&header);
+    for part in parts {
+        out.extend_from_slice(part);
+    }
+}
 
 /// Encodes `payload` into a self-contained frame ready to write to a stream.
 ///
@@ -70,15 +132,16 @@ impl Error for FrameError {}
 /// Panics if `payload.len() > MAX_FRAME_LEN`; callers size protocol messages
 /// below the limit by construction.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_FRAME_LEN, "payload exceeds MAX_FRAME_LEN");
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32c(payload).to_le_bytes());
-    out.extend_from_slice(payload);
+    let mut out = Vec::new();
+    encode_frame_into(&mut out, &[payload]);
     out
 }
 
 /// Incremental frame decoder over a byte stream.
+///
+/// Yields each complete payload as [`Bytes`]: a zero-copy view of the
+/// buffered stream segment it arrived in, unless the frame straddled two
+/// `extend` calls (then it is reassembled with one copy).
 ///
 /// # Example
 ///
@@ -95,30 +158,127 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
 /// ```
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
-    /// Read offset into `buf`; consumed bytes are compacted lazily.
+    /// Unconsumed stream segments in arrival order. Consumed prefixes are
+    /// tracked by `start` (offset into the front segment); fully consumed
+    /// segments are popped, so memory is bounded by the undecoded suffix.
+    segments: VecDeque<Bytes>,
+    /// Consumed bytes at the front of `segments[0]`.
     start: usize,
+    /// Total unconsumed bytes across all segments.
+    pending: usize,
 }
 
 impl FrameDecoder {
     /// Creates an empty decoder.
     pub fn new() -> Self {
-        FrameDecoder { buf: Vec::new(), start: 0 }
+        FrameDecoder::default()
     }
 
-    /// Appends raw stream bytes to the internal buffer.
+    /// Appends raw stream bytes to the internal buffer (one copy, into an
+    /// owned segment that subsequent decoding slices without copying).
     pub fn extend(&mut self, chunk: &[u8]) {
-        // Compact when the consumed prefix dominates, to bound memory.
-        if self.start > 4096 && self.start * 2 > self.buf.len() {
-            self.buf.drain(..self.start);
-            self.start = 0;
+        self.extend_bytes(Bytes::copy_from_slice(chunk));
+    }
+
+    /// Appends an already-owned buffer to the internal queue, copy-free.
+    pub fn extend_bytes(&mut self, chunk: Bytes) {
+        if chunk.is_empty() {
+            return;
         }
-        self.buf.extend_from_slice(chunk);
+        self.pending += chunk.len();
+        self.segments.push_back(chunk);
     }
 
     /// Number of buffered, not-yet-consumed bytes.
     pub fn pending_len(&self) -> usize {
-        self.buf.len() - self.start
+        self.pending
+    }
+
+    /// Copies the unconsumed bytes at logical offset `offset..offset + out.len()`
+    /// into `out`. Caller guarantees the range is in bounds.
+    fn peek_into(&self, mut offset: usize, out: &mut [u8]) {
+        let mut written = 0;
+        offset += self.start;
+        for seg in &self.segments {
+            if offset >= seg.len() {
+                offset -= seg.len();
+                continue;
+            }
+            let n = (seg.len() - offset).min(out.len() - written);
+            out[written..written + n].copy_from_slice(&seg[offset..offset + n]);
+            written += n;
+            offset = 0;
+            if written == out.len() {
+                return;
+            }
+        }
+        debug_assert_eq!(written, out.len(), "peek_into out of bounds");
+    }
+
+    /// Checksums the unconsumed bytes at logical offset `offset..offset + len`
+    /// without materializing them. Caller guarantees the range is in bounds.
+    fn crc_range(&self, mut offset: usize, mut len: usize) -> u32 {
+        let mut crc = Crc32c::new();
+        offset += self.start;
+        for seg in &self.segments {
+            if len == 0 {
+                break;
+            }
+            if offset >= seg.len() {
+                offset -= seg.len();
+                continue;
+            }
+            let n = (seg.len() - offset).min(len);
+            crc.update(&seg[offset..offset + n]);
+            len -= n;
+            offset = 0;
+        }
+        debug_assert_eq!(len, 0, "crc_range out of bounds");
+        crc.finish()
+    }
+
+    /// Extracts the unconsumed bytes at logical offset `offset..offset + len`
+    /// as `Bytes`: a zero-copy slice when the range lies within one segment,
+    /// otherwise one reassembling copy. Caller guarantees bounds.
+    fn view(&self, mut offset: usize, len: usize) -> Bytes {
+        if len == 0 {
+            return Bytes::new();
+        }
+        offset += self.start;
+        let mut iter = self.segments.iter();
+        let mut seg = iter.next().expect("view on empty decoder");
+        while offset >= seg.len() {
+            offset -= seg.len();
+            seg = iter.next().expect("view out of bounds");
+        }
+        if offset + len <= seg.len() {
+            return seg.slice(offset..offset + len);
+        }
+        // Frame torn across segments: reassemble with one copy.
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&seg[offset..]);
+        while out.len() < len {
+            let seg = iter.next().expect("view out of bounds");
+            let n = (len - out.len()).min(seg.len());
+            out.extend_from_slice(&seg[..n]);
+        }
+        Bytes::from(out)
+    }
+
+    /// Drops `n` unconsumed bytes from the front, releasing whole segments
+    /// back to their refcounts as they drain.
+    fn consume(&mut self, mut n: usize) {
+        self.pending -= n;
+        while n > 0 {
+            let front_len = self.segments[0].len() - self.start;
+            if n < front_len {
+                self.start += n;
+                return;
+            }
+            n -= front_len;
+            self.segments.pop_front();
+            self.start = 0;
+        }
     }
 
     /// Attempts to decode the next complete frame.
@@ -131,25 +291,26 @@ impl FrameDecoder {
     ///
     /// [`FrameError::TooLong`] for an oversized length prefix,
     /// [`FrameError::BadChecksum`] when the payload fails verification.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        let avail = &self.buf[self.start..];
-        if avail.len() < HEADER_LEN {
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.pending < HEADER_LEN {
             return Ok(None);
         }
-        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        let mut header = [0u8; HEADER_LEN];
+        self.peek_into(0, &mut header);
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(FrameError::TooLong { claimed: len });
         }
-        let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
-        if avail.len() < HEADER_LEN + len {
+        let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if self.pending < HEADER_LEN + len {
             return Ok(None);
         }
-        let payload = avail[HEADER_LEN..HEADER_LEN + len].to_vec();
-        let actual = crc32c(&payload);
+        let actual = self.crc_range(HEADER_LEN, len);
         if actual != expected {
             return Err(FrameError::BadChecksum { expected, actual });
         }
-        self.start += HEADER_LEN + len;
+        let payload = self.view(HEADER_LEN, len);
+        self.consume(HEADER_LEN + len);
         Ok(Some(payload))
     }
 }
@@ -224,7 +385,7 @@ mod tests {
     #[test]
     fn compaction_preserves_stream_position() {
         let mut dec = FrameDecoder::new();
-        // Push enough small frames to trigger internal compaction repeatedly.
+        // Push enough small frames to exercise segment recycling.
         let frame = encode_frame(&[7u8; 100]);
         for _ in 0..200 {
             dec.extend(&frame);
@@ -234,5 +395,80 @@ mod tests {
         }
         assert_eq!(dec.next_frame().unwrap(), None);
         assert_eq!(dec.pending_len(), 0);
+    }
+
+    #[test]
+    fn whole_frame_in_one_segment_is_zero_copy() {
+        // A frame delivered intact must come back as a view of the same
+        // backing buffer, not a fresh allocation.
+        let wire = Bytes::from(encode_frame(b"zero copy payload"));
+        let mut dec = FrameDecoder::new();
+        dec.extend_bytes(wire.clone());
+        let payload = dec.next_frame().unwrap().unwrap();
+        assert_eq!(payload, b"zero copy payload");
+        let base = wire.as_ref().as_ptr() as usize;
+        let view = payload.as_ref().as_ptr() as usize;
+        assert_eq!(view, base + HEADER_LEN, "payload is not a view of the input");
+    }
+
+    #[test]
+    fn torn_frame_across_segments_is_reassembled() {
+        let wire = encode_frame(b"split across reads");
+        let mut dec = FrameDecoder::new();
+        let (a, b) = wire.split_at(HEADER_LEN + 5);
+        dec.extend_bytes(Bytes::copy_from_slice(a));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend_bytes(Bytes::copy_from_slice(b));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"split across reads"[..]));
+        assert_eq!(dec.pending_len(), 0);
+    }
+
+    #[test]
+    fn frame_header_matches_contiguous_encoding() {
+        let contiguous = encode_frame(b"abcdef");
+        let header = frame_header(&[b"ab", b"cd", b"ef"]);
+        assert_eq!(&contiguous[..HEADER_LEN], &header);
+        let mut out = Vec::new();
+        encode_frame_into(&mut out, &[b"abc", b"", b"def"]);
+        assert_eq!(out, contiguous);
+    }
+
+    #[test]
+    fn vectored_parts_decode_like_one_payload() {
+        let parts: [&[u8]; 3] = [b"zxid----", b"\x05\x00\x00\x00", b"delta"];
+        let header = frame_header(&parts);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&header);
+        for part in parts {
+            dec.extend(part);
+        }
+        let payload = dec.next_frame().unwrap().unwrap();
+        assert_eq!(payload, b"zxid----\x05\x00\x00\x00delta");
+    }
+
+    #[test]
+    fn consumed_segments_are_released() {
+        let mut dec = FrameDecoder::new();
+        dec.extend_bytes(Bytes::from(encode_frame(&[1u8; 64])));
+        dec.extend_bytes(Bytes::from(encode_frame(&[2u8; 64])));
+        assert!(dec.next_frame().unwrap().is_some());
+        // First segment fully consumed: only the second remains queued.
+        assert_eq!(dec.segments.len(), 1);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert_eq!(dec.segments.len(), 0);
+        assert_eq!(dec.pending_len(), 0);
+    }
+
+    #[test]
+    fn crc_is_computed_across_segment_boundaries() {
+        // Corrupt a byte that lands in the second segment of a torn frame.
+        let mut wire = encode_frame(b"torn-and-corrupt");
+        let n = wire.len();
+        wire[n - 1] ^= 0x80;
+        let mut dec = FrameDecoder::new();
+        let (a, b) = wire.split_at(HEADER_LEN + 4);
+        dec.extend(a);
+        dec.extend(b);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadChecksum { .. })));
     }
 }

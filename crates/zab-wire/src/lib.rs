@@ -14,10 +14,16 @@
 //! compatibility is a property of this crate alone and the hot path performs
 //! no reflection-style dispatch.
 //!
+//! Payloads travel as refcounted [`bytes::Bytes`]: [`FrameDecoder`] yields
+//! each frame as a zero-copy view of the receive buffer, and a
+//! [`codec::BytesCursor`] over that view slices byte-string fields out of
+//! it without copying. One allocation per received buffer serves decode,
+//! log append, and fan-out.
+//!
 //! # Example
 //!
 //! ```
-//! use zab_wire::codec::{WireRead, WireWrite};
+//! use zab_wire::codec::{BytesCursor, WireRead, WireWrite};
 //! use zab_wire::frame::{FrameDecoder, encode_frame};
 //!
 //! // Encode a payload into a frame and decode it back, as a socket would.
@@ -29,7 +35,7 @@
 //! let mut decoder = FrameDecoder::new();
 //! decoder.extend(&frame);
 //! let decoded = decoder.next_frame().expect("no corruption").expect("complete");
-//! let mut cursor = decoded.as_slice();
+//! let mut cursor = BytesCursor::new(decoded);
 //! assert_eq!(cursor.get_u64_le_wire().unwrap(), 42);
 //! assert_eq!(cursor.get_str_wire().unwrap(), "hello");
 //! ```
@@ -38,5 +44,8 @@ pub mod codec;
 pub mod crc32c;
 pub mod frame;
 
-pub use codec::{WireError, WireRead, WireWrite};
-pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use codec::{BytesCursor, WireError, WireRead, WireWrite};
+pub use frame::{
+    encode_frame, encode_frame_into, frame_header, FrameDecoder, FrameError, HEADER_LEN,
+    MAX_FRAME_LEN,
+};

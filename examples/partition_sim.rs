@@ -13,10 +13,7 @@ use zab_simnet::{ClosedLoopSpec, SimBuilder};
 const SEC: u64 = 1_000_000;
 
 fn main() {
-    let mut sim = SimBuilder::new(5)
-        .seed(2024)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim = SimBuilder::new(5).seed(2024).timeouts_ms(200, 200, 25).build();
 
     let leader = sim.run_until_leader(10 * SEC).expect("initial election");
     println!("[t={:>6} ms] leader elected: {leader}", sim.now_us() / 1000);
@@ -40,10 +37,7 @@ fn main() {
     others.retain(|&m| m != leader);
     let minority = [leader.0, others[0].0];
     let majority = [others[1].0, others[2].0, others[3].0];
-    println!(
-        "[t={:>6} ms] partition: {{{minority:?}}} | {{{majority:?}}}",
-        sim.now_us() / 1000
-    );
+    println!("[t={:>6} ms] partition: {{{minority:?}}} | {{{majority:?}}}", sim.now_us() / 1000);
     sim.partition(&[&minority, &majority]);
 
     sim.run_for(5 * SEC);
@@ -55,10 +49,7 @@ fn main() {
     assert!(majority.contains(&new_leader.0));
     assert_ne!(new_leader, leader);
 
-    assert!(
-        sim.run_until_completed(1_200, 120 * SEC),
-        "majority side must keep committing"
-    );
+    assert!(sim.run_until_completed(1_200, 120 * SEC), "majority side must keep committing");
     println!(
         "[t={:>6} ms] {} ops committed (progress during the partition)",
         sim.now_us() / 1000,

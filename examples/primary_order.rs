@@ -69,8 +69,7 @@ fn multipaxos_side() {
         per_origin.values().any(|seqs| {
             let mut sorted = seqs.clone();
             sorted.sort_unstable();
-            sorted.first() != Some(&1)
-                || sorted.windows(2).any(|w| w[1] != w[0] + 1)
+            sorted.first() != Some(&1) || sorted.windows(2).any(|w| w[1] != w[0] + 1)
         })
     };
     let mut demo = None;
@@ -99,7 +98,12 @@ fn multipaxos_side() {
         let path = format!("/p{}{}", v.origin, "/n".repeat(v.seq as usize - 1));
         let delta = Delta::CreateNode { path, data: vec![], parent_cversion: 1 };
         if let Err(e) = tree.apply(&delta) {
-            println!("  delta {} (primary {} seq {}): BACKUP CORRUPTED: {e}", i + 1, v.origin, v.seq);
+            println!(
+                "  delta {} (primary {} seq {}): BACKUP CORRUPTED: {e}",
+                i + 1,
+                v.origin,
+                v.seq
+            );
             corrupted = true;
             break;
         }
@@ -125,7 +129,9 @@ fn multipaxos_side() {
             violations_w1 += 1;
         }
     }
-    println!("window = 1: {violations_w1} violations in 500 seeds (stop-and-wait is safe but slow)");
+    println!(
+        "window = 1: {violations_w1} violations in 500 seeds (stop-and-wait is safe but slow)"
+    );
     assert_eq!(violations_w1, 0);
 }
 
@@ -151,8 +157,7 @@ fn zab_side() {
         sim.run_for(3_000_000);
         sim.restart(leader);
         sim.run_until_completed(300, 120_000_000);
-        sim.check_invariants()
-            .unwrap_or_else(|e| panic!("Zab violated PO at seed {seed}: {e}"));
+        sim.check_invariants().unwrap_or_else(|e| panic!("Zab violated PO at seed {seed}: {e}"));
         checked += 1;
     }
     println!("{checked} crash-recovery schedules checked: primary order intact in all");

@@ -45,10 +45,8 @@ fn main() {
     // 5. Every replica delivers the same sequence.
     for (&id, replica) in &replicas {
         let delivered = drain(replica, 4);
-        let words: Vec<String> = delivered
-            .iter()
-            .map(|t| String::from_utf8_lossy(&t.data).into_owned())
-            .collect();
+        let words: Vec<String> =
+            delivered.iter().map(|t| String::from_utf8_lossy(&t.data).into_owned()).collect();
         println!("{id} delivered: {words:?}");
         assert_eq!(words, ["alpha", "beta", "gamma", "delta"]);
     }
@@ -62,10 +60,7 @@ fn main() {
     replicas[&new_leader].submit(b"epsilon".to_vec());
     let other = replicas.keys().copied().find(|&id| id != new_leader).expect("survivor");
     let more = drain(&replicas[&other], 1);
-    println!(
-        "{other} delivered after failover: {:?}",
-        String::from_utf8_lossy(&more[0].data)
-    );
+    println!("{other} delivered after failover: {:?}", String::from_utf8_lossy(&more[0].data));
     println!("quickstart OK");
 }
 

@@ -119,12 +119,10 @@ proptest! {
 fn lock_queue_depends_on_every_predecessor() {
     let mut primary = PrimaryExecutor::new(DataTree::new());
     let (d_queue, _) = primary.execute(&Op::create("/lock", vec![])).expect("mkdir");
-    let (d1, r1) = primary
-        .execute(&Op::create_sequential("/lock/req-", b"client-a".to_vec()))
-        .expect("req 1");
-    let (d2, r2) = primary
-        .execute(&Op::create_sequential("/lock/req-", b"client-b".to_vec()))
-        .expect("req 2");
+    let (d1, r1) =
+        primary.execute(&Op::create_sequential("/lock/req-", b"client-a".to_vec())).expect("req 1");
+    let (d2, r2) =
+        primary.execute(&Op::create_sequential("/lock/req-", b"client-b".to_vec())).expect("req 2");
     assert_eq!(r1.created_path.as_deref(), Some("/lock/req-0000000000"));
     assert_eq!(r2.created_path.as_deref(), Some("/lock/req-0000000001"));
 

@@ -39,10 +39,7 @@ fn fault_strategy() -> impl Strategy<Value = Fault> {
 
 /// Applies a schedule while a workload runs; returns the sim for checking.
 fn run_schedule(n: u64, seed: u64, schedule: &[Fault]) -> Sim {
-    let mut sim = SimBuilder::new(n)
-        .seed(seed)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim = SimBuilder::new(n).seed(seed).timeouts_ms(200, 200, 25).build();
     sim.run_until_leader(20 * SEC);
     sim.install_closed_loop(ClosedLoopSpec {
         clients: 6,
@@ -59,7 +56,7 @@ fn run_schedule(n: u64, seed: u64, schedule: &[Fault]) -> Sim {
                 // Keep a quorum's worth of servers up so the run makes
                 // progress (safety holds regardless, but stalled runs
                 // test less).
-                if !downed.contains(&victim) && downed.len() + 1 < (n as usize + 1) / 2 + 1 {
+                if !downed.contains(&victim) && downed.len() + 1 < (n as usize).div_ceil(2) + 1 {
                     sim.crash(victim);
                     downed.push(victim);
                 }
@@ -91,7 +88,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 64,
-        .. ProptestConfig::default()
     })]
 
     /// Safety under arbitrary crash/partition schedules, 3 servers.
@@ -172,10 +168,7 @@ proptest! {
 /// A long deterministic soak: rolling crashes across every server.
 #[test]
 fn rolling_crash_soak() {
-    let mut sim = SimBuilder::new(5)
-        .seed(777)
-        .timeouts_ms(200, 200, 25)
-        .build();
+    let mut sim = SimBuilder::new(5).seed(777).timeouts_ms(200, 200, 25).build();
     sim.run_until_leader(20 * SEC).expect("leader");
     sim.install_closed_loop(ClosedLoopSpec {
         clients: 8,
@@ -190,8 +183,7 @@ fn rolling_crash_soak() {
         sim.run_for(2 * SEC);
         sim.restart(victim);
         sim.run_for(2 * SEC);
-        sim.check_invariants()
-            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        sim.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
     sim.run_for(10 * SEC);
     sim.check_invariants().unwrap();

@@ -1,0 +1,339 @@
+//! In-tree shim of the `bytes` crate (the subset this workspace uses).
+//!
+//! [`Bytes`] is a reference-counted view into an immutable contiguous
+//! buffer. `clone()` and [`Bytes::slice`] are O(1): they bump a refcount
+//! and adjust a window — no payload bytes move. That property is what the
+//! workspace's zero-copy payload pipeline is built on: one allocation per
+//! client op is shared by the codec, the log, and every follower's
+//! outgoing frame.
+//!
+//! This is not the upstream crate. It implements exactly the API surface
+//! the workspace needs (see `vendor/README.md` for the policy); buffers
+//! are backed by `Arc<[u8]>` or a `&'static` region, so sharing is
+//! thread-safe.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable and sliceable chunk of contiguous memory.
+///
+/// The buffer is immutable once wrapped; clones share it. Equality,
+/// ordering and hashing all defer to the viewed byte slice.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage — no allocation, no refcount.
+    Static(&'static [u8]),
+    /// Shared heap allocation; clones bump the `Arc`.
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes` (no allocation).
+    #[must_use]
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]), off: 0, len: 0 }
+    }
+
+    /// Wraps a static slice without copying or allocating.
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(bytes), off: 0, len: bytes.len() }
+    }
+
+    /// Copies `data` into a fresh shared buffer.
+    ///
+    /// This is the *one* copying constructor; everything downstream of it
+    /// (clone, slice) is zero-copy.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a zero-copy sub-view of `self` covering `range`.
+    ///
+    /// The returned `Bytes` shares the same underlying buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_add(1).expect("slice start overflow"),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("slice end overflow"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice range inverted: {start} > {end}");
+        assert!(end <= self.len, "slice out of bounds: {end} > {}", self.len);
+        Bytes { repr: self.repr.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// The viewed bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        let backing = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => &a[..],
+        };
+        &backing[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { repr: Repr::Shared(Arc::from(v)), off: 0, len }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Bytes {
+        let len = b.len();
+        Bytes { repr: Repr::Shared(Arc::from(b)), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Bytes> for &[u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<Bytes> for [u8; N] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<Bytes> for &[u8; N] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        // Slicing a slice composes.
+        assert_eq!(s.slice(1..).as_slice(), &[3, 4]);
+        assert_eq!(s.slice(..=1).as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn static_and_empty() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.slice(0..0).len(), 0);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default(), Bytes::new());
+    }
+
+    #[test]
+    fn equality_across_reprs() {
+        let a = Bytes::from_static(b"xyz");
+        let b = Bytes::copy_from_slice(b"xyz");
+        assert_eq!(a, b);
+        assert_eq!(a, b"xyz"[..].to_vec());
+        assert_eq!(a, *b"xyz");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from_static(b"ab").slice(0..3);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\0")), "b\"a\\x00\"");
+    }
+}

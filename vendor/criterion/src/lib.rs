@@ -1,0 +1,240 @@
+//! In-tree shim of the `criterion` crate (the subset this workspace
+//! uses).
+//!
+//! Keeps upstream's registration surface — `criterion_group!` /
+//! `criterion_main!`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `Throughput` — over a plain wall-clock measurement
+//! loop. Like upstream, when the harness binary is invoked *without*
+//! `--bench` (which is how `cargo test` runs `harness = false` bench
+//! targets), every benchmark body executes exactly once as a smoke test;
+//! with `--bench` each benchmark is warmed up and timed, and a
+//! `name  median  throughput` line is printed per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// How much work one pass represents, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times one
+/// routine call per setup regardless of the hint.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, created by `criterion_group!`.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` passes `--bench` to harness = false targets;
+        // `cargo test` does not.
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 32 }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let name = name.into();
+        run_benchmark(self.bench_mode, &name, None, 32, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion.bench_mode, &full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body to drive measurement.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Number of measured routine invocations.
+    iters: u64,
+}
+
+enum BenchMode {
+    /// Run each routine exactly once (under `cargo test`).
+    TestOnce,
+    /// Time routines until the sample budget is spent.
+    Timed { samples: u64 },
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let reps = match self.mode {
+            BenchMode::TestOnce => 1,
+            BenchMode::Timed { samples } => samples,
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let reps = match self.mode {
+            BenchMode::TestOnce => 1,
+            BenchMode::Timed { samples } => samples,
+        };
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark(
+    bench_mode: bool,
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if !bench_mode {
+        let mut b = Bencher { mode: BenchMode::TestOnce, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        return;
+    }
+    // Warm-up pass, unmeasured.
+    let mut warm = Bencher { mode: BenchMode::TestOnce, elapsed: Duration::ZERO, iters: 0 };
+    f(&mut warm);
+    let mut b = Bencher {
+        mode: BenchMode::Timed { samples: sample_size as u64 },
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let per_iter_ns = if b.iters == 0 { 0.0 } else { b.elapsed.as_nanos() as f64 / b.iters as f64 };
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Bytes(n) => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter_ns.max(1.0) * 1e9 / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => {
+            format!("  {:.0} elem/s", n as f64 / per_iter_ns.max(1.0) * 1e9)
+        }
+    });
+    println!("bench  {name:<48}  {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+/// Groups benchmark functions under one registration entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(8));
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_counts_batched_setups() {
+        let mut c = Criterion { bench_mode: true };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        c.benchmark_group("g").sample_size(5).bench_function("b", |b| {
+            b.iter_batched(|| setups += 1, |()| runs += 1, BatchSize::SmallInput)
+        });
+        // Warm-up (1) + timed samples (5).
+        assert_eq!(setups, 6);
+        assert_eq!(runs, 6);
+    }
+}

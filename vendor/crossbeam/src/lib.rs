@@ -1,0 +1,387 @@
+//! In-tree shim of the `crossbeam` crate (the subset this workspace
+//! uses): [`channel`] with unbounded MPMC channels, [`channel::tick`],
+//! and a [`select!`] macro.
+//!
+//! Semantics match upstream where the workspace depends on them:
+//! `send` fails once every receiver is gone, `recv` fails once every
+//! sender is gone and the queue is drained, and a `select!` arm binds
+//! `Result<T, RecvError>`. The implementation is a `Mutex<VecDeque>` +
+//! `Condvar` per channel — simple and fair enough for the thread-per-
+//! connection transport this workspace runs.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`]: every receiver is gone. The
+    /// unsent message is handed back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]: channel empty and every
+    /// sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Channel empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with nothing queued.
+        Timeout,
+        /// Channel empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    /// A receiver that yields the current [`Instant`] every `period`,
+    /// driven by a dedicated timer thread. The thread exits after the
+    /// last receiver is dropped.
+    #[must_use]
+    pub fn tick(period: Duration) -> Receiver<Instant> {
+        let (tx, rx) = unbounded();
+        std::thread::Builder::new()
+            .name("channel-tick".into())
+            .spawn(move || loop {
+                std::thread::sleep(period);
+                if tx.send(Instant::now()).is_err() {
+                    return;
+                }
+            })
+            .expect("spawn tick thread");
+        rx
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, failing only if every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] carrying `msg` back when disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.0);
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.0).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.0);
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message or disconnection.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the channel is drained and senderless.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks until a message, disconnection, or `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] or
+        /// [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                inner = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.0);
+            match inner.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+
+        /// Non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+
+        /// Queued message count (racy, for diagnostics).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// Whether the queue is empty right now (racy, for diagnostics).
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// `select!` support: whether `recv` would return without
+        /// blocking (message queued, or channel disconnected).
+        #[doc(hidden)]
+        pub fn __select_ready(&self) -> bool {
+            let inner = lock(&self.0);
+            !inner.queue.is_empty() || inner.senders == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.0).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.0).receivers -= 1;
+        }
+    }
+
+    // Re-export so `crossbeam::channel::select!` resolves like upstream.
+    pub use crate::select;
+}
+
+/// Waits on several receivers, running the arm of whichever is ready
+/// first. Each arm binds `Result<T, RecvError>` exactly like upstream
+/// crossbeam: `Ok(msg)` for a message, `Err(RecvError)` once that
+/// channel disconnects.
+///
+/// The readiness wait and the arm dispatch are separate passes, and the
+/// dispatch runs outside any macro-introduced loop — so `break` /
+/// `continue` inside an arm body act on the *caller's* enclosing loop,
+/// matching upstream semantics. Each receiver must have a single
+/// consuming thread (true everywhere in this workspace); with competing
+/// consumers a ready message could be stolen between the two passes.
+#[macro_export]
+macro_rules! select {
+    ( $( recv($rx:expr) -> $pat:pat => $body:expr $(,)? )+ ) => {{
+        let __winner: usize = loop {
+            let mut __idx = 0usize;
+            let mut __found: ::core::option::Option<usize> = ::core::option::Option::None;
+            $(
+                if __found.is_none() && (&$rx).__select_ready() {
+                    __found = ::core::option::Option::Some(__idx);
+                }
+                __idx += 1;
+            )+
+            let _ = __idx;
+            if let ::core::option::Option::Some(__w) = __found {
+                break __w;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        };
+        let mut __idx = 0usize;
+        $(
+            {
+                let __this = __idx;
+                __idx += 1;
+                if __winner == __this {
+                    let $pat = match (&$rx).try_recv() {
+                        ::core::result::Result::Ok(__msg) => ::core::result::Result::Ok(__msg),
+                        ::core::result::Result::Err(_) =>
+                            ::core::result::Result::Err($crate::channel::RecvError),
+                    };
+                    $body
+                }
+            }
+        )+
+        let _ = __idx;
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_propagates_both_ways() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_fan_in() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_breaks_caller_loop() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        let mut tx_a = Some(tx_a);
+        let mut seen = Vec::new();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 2 {
+                panic!("select failed to drive the caller's loop");
+            }
+            crate::select! {
+                recv(rx_a) -> msg => match msg {
+                    Ok(v) => { seen.push(v); tx_a.take(); },
+                    // `break` here must exit *this* loop, not a macro loop.
+                    Err(_) => break,
+                },
+                recv(rx_b) -> _msg => unreachable!("rx_b never ready"),
+            }
+        }
+        assert_eq!(seen, vec![5]);
+        assert_eq!(rounds, 2);
+    }
+
+    #[test]
+    fn tick_fires_repeatedly() {
+        let rx = super::channel::tick(Duration::from_millis(2));
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,79 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::RngCore;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A` (see [`any`]).
+pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+impl<A> Debug for ArbitraryStrategy<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any::<_>()")
+    }
+}
+
+impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `A`, upstream-style entry point.
+#[must_use]
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    ArbitraryStrategy(PhantomData)
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary_value(rng: &mut TestRng) -> crate::sample::Index {
+        crate::sample::Index::new(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn primitives_cover_their_width() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = any::<u8>();
+        let mut seen = [false; 256];
+        for _ in 0..8192 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 250);
+        let flags: Vec<bool> = (0..32).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(flags.contains(&true) && flags.contains(&false));
+    }
+}

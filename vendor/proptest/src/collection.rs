@@ -1,0 +1,75 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length bound for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy producing `Vec`s of `element` with a length in `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = vec(any::<u8>(), 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+        let nested = vec(vec(any::<u8>(), 0..3), 1..4);
+        let n = nested.generate(&mut rng);
+        assert!((1..=3).contains(&n.len()));
+    }
+}

@@ -1,0 +1,194 @@
+//! In-tree shim of the `proptest` crate (the subset this workspace
+//! uses).
+//!
+//! Same surface syntax as upstream — `proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, `prop_assume!`, `Strategy`/`prop_map`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::Index` — backed by a simple
+//! deterministic runner: each test draws `ProptestConfig::cases` inputs
+//! from a ChaCha8 stream seeded from the test's module path, so runs are
+//! reproducible without any persistence files.
+//!
+//! Differences from upstream, deliberate:
+//!
+//! - **No shrinking.** A failing case reports its exact inputs
+//!   (`Debug`-formatted) instead of a minimized one.
+//! - **No regression-file replay.** `*.proptest-regressions` files are
+//!   kept in-tree as documentation of historical failures; the shrunken
+//!   cases they record are pinned as ordinary unit tests next to the
+//!   properties (see `crates/core/tests/prop.rs`).
+//! - String strategies accept the regex-flavored patterns the workspace
+//!   uses (`"\\PC{0,64}"`) but interpret them as "printable chars, with
+//!   the braced length bound", not as general regexes.
+//!
+//! `PROPTEST_CASES` in the environment overrides the per-test case count
+//! just like upstream.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module path used inside `proptest!` bodies.
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests.
+///
+/// Accepts the upstream form: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __cases = $crate::test_runner::effective_cases(&__config);
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __accepted < __cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __cases.saturating_mul(20).max(1000),
+                    "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name),
+                    __accepted,
+                    __cases,
+                );
+                let __values =
+                    ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                // Debug-render inputs up front; the body takes them by value.
+                let __inputs: ::std::string::String = format!(
+                    "  {} = {:?}",
+                    stringify!($($arg),+),
+                    &__values,
+                );
+                let ( $($arg,)+ ) = __values;
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__why)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}\ninputs:\n{}",
+                            stringify!($name),
+                            __accepted,
+                            __why,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {{
+        let __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![ $( ::std::boxed::Box::new($strat) ),+ ];
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Fails the current case (returns `Err(TestCaseError::Fail)`) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `left != right`\n  both: {:?}", __l);
+    }};
+}
+
+/// Discards the current case (drawing a replacement) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,50 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose size is unknown at generation time.
+///
+/// Generated via `any::<Index>()`; resolved against a concrete length
+/// with [`Index::index`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Resolves against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_stable_and_bounded() {
+        let i = Index::new(1_000_003);
+        assert_eq!(i.index(10), i.index(10));
+        assert!(i.index(7) < 7);
+        assert_eq!(i.index(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn zero_len_panics() {
+        let _ = Index::new(3).index(0);
+    }
+}

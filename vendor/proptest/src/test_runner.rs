@@ -1,0 +1,102 @@
+//! Case-runner plumbing behind the `proptest!` macro.
+
+use rand::SeedableRng;
+
+/// Per-test configuration (upstream's `Config`, re-exported by the
+/// prelude as `ProptestConfig`). Only the fields this workspace sets are
+/// present.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this runner does not shrink,
+    /// so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+/// Upstream module-path alias (`test_runner::Config`).
+pub use ProptestConfig as Config;
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// Resolves the case count, honoring the `PROPTEST_CASES` environment
+/// override like upstream.
+#[must_use]
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(config.cases),
+        Err(_) => config.cases,
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated; the runner fails the test.
+    Fail(String),
+    /// The drawn inputs don't satisfy an assumption; the runner draws a
+    /// replacement case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(why) => write!(f, "case failed: {why}"),
+            TestCaseError::Reject(why) => write!(f, "case rejected: {why}"),
+        }
+    }
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG for a property test, seeded from its fully
+/// qualified name (FNV-1a), so every run explores the same sequence.
+#[must_use]
+pub fn rng_for(test_name: &str) -> crate::strategy::TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    crate::strategy::TestRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_per_name_deterministic() {
+        let mut a = rng_for("mod::test_a");
+        let mut b = rng_for("mod::test_a");
+        let mut c = rng_for("mod::test_b");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn config_override_shape() {
+        let cfg = ProptestConfig { cases: 48, ..ProptestConfig::default() };
+        assert_eq!(cfg.cases, 48);
+        assert_eq!(cfg.max_shrink_iters, ProptestConfig::default().max_shrink_iters);
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end exercise of the `proptest!` macro surface the workspace
+//! uses: config attribute, multiple tests per block, tuple/map/oneof
+//! strategies, string patterns, `Index`, assume/assert, and `?` on
+//! `TestCaseError`.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Push(u8),
+    Pop,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![any::<u8>().prop_map(Op::Push), Just(Op::Pop)]
+}
+
+fn checked(v: u32) -> Result<u32, TestCaseError> {
+    if v > 1_000_000 {
+        return Err(TestCaseError::fail("out of range"));
+    }
+    Ok(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Stack height never goes negative when we guard pops.
+    #[test]
+    fn stack_height_tracks_ops(ops in prop::collection::vec(op(), 0..32)) {
+        let mut height: i64 = 0;
+        for o in &ops {
+            match o {
+                Op::Push(_) => height += 1,
+                Op::Pop => height -= i64::from(height > 0),
+            }
+        }
+        prop_assert!(height >= 0, "height {} after {:?}", height, ops);
+        prop_assert!(height as usize <= ops.len());
+    }
+
+    #[test]
+    fn tuples_strings_and_indexes(
+        (a, b) in (0u32..50, 0u32..50),
+        s in "\\PC{0,64}",
+        pick in any::<prop::sample::Index>(),
+        flag in any::<bool>(),
+    ) {
+        prop_assume!(a != 49);
+        prop_assert!(a + b < 100);
+        prop_assert!(s.chars().count() <= 64);
+        let list = [1, 2, 3];
+        prop_assert!(pick.index(list.len()) < list.len());
+        let negated = !flag;
+        prop_assert_ne!(flag, negated);
+        prop_assert_ne!(a + 1, a);
+        // `?` must thread TestCaseError out of the body.
+        let v = checked(a + b)?;
+        prop_assert_eq!(v, a + b);
+    }
+}
+
+#[test]
+fn case_failure_reports_inputs() {
+    let caught = std::panic::catch_unwind(|| {
+        proptest! {
+            // No #[test] here: the property runs via the direct call below.
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    let err = caught.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("panic payload is a String");
+    assert!(msg.contains("always_fails"), "message names the test: {msg}");
+    assert!(msg.contains("x ="), "message shows inputs: {msg}");
+}
