@@ -1,0 +1,280 @@
+//! Deterministic storage fault injection.
+//!
+//! Real disks fail in ways a torn tail does not cover: `fsync` returns
+//! `EIO`, an append hits a full or failing device, a snapshot replace is
+//! interrupted, and at-rest bits rot under an intact file length. This
+//! module gives every [`crate::Storage`] implementation a seeded,
+//! replayable way to produce those failures on demand:
+//!
+//! - [`FaultPlan`] decides, per storage operation, whether to fail it with
+//!   an injected [`std::io::Error`]. Decisions come from one-shot arms
+//!   (exactly the next matching operation fails) and/or seeded per-op
+//!   probabilities driven by a splitmix64 stream, so a `(seed, plan)` pair
+//!   replays the same fault sequence forever.
+//! - [`flip_byte_in_file`] implements bit-rot for the file-backed store:
+//!   flip one byte in place, leaving length and mtime-visible structure
+//!   untouched, exactly what a latent media error looks like to recovery.
+//!
+//! A fired fault leaves the store *consistent*: injection happens before
+//! the operation mutates anything, so a failed append never half-applies
+//! and a failed flush simply leaves the dirty window open (its writes are
+//! then lost on a simulated crash, as with a real failed `fsync`).
+
+use crate::StorageError;
+use std::io;
+use std::path::Path;
+
+/// The storage operations a [`FaultPlan`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A transaction append ([`crate::Storage::append_txns`]).
+    Append,
+    /// A durability barrier ([`crate::Storage::flush`]).
+    Flush,
+    /// An epoch record replacement (`set_accepted_epoch` / `set_current_epoch`).
+    EpochWrite,
+    /// A log truncation ([`crate::Storage::truncate`]).
+    Truncate,
+    /// A snapshot replacement ([`crate::Storage::reset_to_snapshot`]).
+    SnapshotReplace,
+    /// A log compaction ([`crate::Storage::compact`]).
+    Compact,
+}
+
+impl FaultOp {
+    /// All operations, for sweeps that arm every kind.
+    pub const ALL: [FaultOp; 6] = [
+        FaultOp::Append,
+        FaultOp::Flush,
+        FaultOp::EpochWrite,
+        FaultOp::Truncate,
+        FaultOp::SnapshotReplace,
+        FaultOp::Compact,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultOp::Append => "append",
+            FaultOp::Flush => "flush",
+            FaultOp::EpochWrite => "epoch-write",
+            FaultOp::Truncate => "truncate",
+            FaultOp::SnapshotReplace => "snapshot-replace",
+            FaultOp::Compact => "compact",
+        }
+    }
+}
+
+/// The [`StorageError`] a fired fault produces: an `io::Error` of kind
+/// `Other`, tagged so tests and logs can tell injected faults from real
+/// ones.
+pub fn injected_error(op: FaultOp) -> StorageError {
+    StorageError::Io(io::Error::other(format!("injected fault: {} failed", op.name())))
+}
+
+/// splitmix64: tiny, dependency-free, and plenty for fault scheduling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic schedule of storage faults.
+///
+/// # Example
+///
+/// ```
+/// use zab_log::fault::{FaultOp, FaultPlan};
+/// use zab_log::{MemStorage, Storage, StorageError};
+/// use zab_core::{Epoch, Txn, Zxid};
+///
+/// let mut s = MemStorage::new();
+/// let mut plan = FaultPlan::new();
+/// plan.arm(FaultOp::Append);
+/// s.set_faults(Some(plan));
+/// let txn = Txn::new(Zxid::new(Epoch(1), 1), &b"x"[..]);
+/// assert!(matches!(
+///     s.append_txns(std::slice::from_ref(&txn)),
+///     Err(StorageError::Io(_))
+/// ));
+/// // One-shot: the retry goes through.
+/// s.append_txns(&[txn]).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// One-shot arms: the next operation matching an entry fails, consuming
+    /// the entry.
+    one_shot: Vec<FaultOp>,
+    /// Per-operation failure probabilities, in [0, 1].
+    probs: Vec<(FaultOp, f64)>,
+    /// splitmix64 state for probability draws.
+    rng_state: u64,
+    /// Faults fired so far.
+    fired: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (never fails anything until armed).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan whose probabilistic draws replay deterministically from
+    /// `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { rng_state: seed ^ 0xD6E8_FEB8_6659_FD93, ..FaultPlan::default() }
+    }
+
+    /// Arms a one-shot fault: the next operation of kind `op` fails.
+    pub fn arm(&mut self, op: FaultOp) {
+        self.one_shot.push(op);
+    }
+
+    /// Sets (replacing any previous value) the probability that each
+    /// operation of kind `op` fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_prob(mut self, op: FaultOp, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "fault probability out of range: {p}");
+        self.probs.retain(|&(o, _)| o != op);
+        self.probs.push((op, p));
+        self
+    }
+
+    /// Number of faults fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// True if any one-shot arm is still pending.
+    pub fn armed(&self) -> bool {
+        !self.one_shot.is_empty()
+    }
+
+    /// Decides whether the operation `op` should fail now. One-shot arms
+    /// take precedence (and are consumed); otherwise the seeded stream
+    /// draws against the configured probability.
+    pub fn should_fail(&mut self, op: FaultOp) -> bool {
+        if let Some(i) = self.one_shot.iter().position(|&o| o == op) {
+            self.one_shot.remove(i);
+            self.fired += 1;
+            return true;
+        }
+        let p = self.probs.iter().find_map(|&(o, p)| (o == op).then_some(p)).unwrap_or(0.0);
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 mantissa bits → uniform in [0, 1).
+        let unit = (splitmix64(&mut self.rng_state) >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < p {
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`FaultPlan::should_fail`] shaped as a `Result`, for use at the top
+    /// of storage methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`StorageError::Io`] when the fault fires.
+    pub fn check(&mut self, op: FaultOp) -> Result<(), StorageError> {
+        if self.should_fail(op) {
+            Err(injected_error(op))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Consults an optional plan: the hook the storage implementations call.
+///
+/// # Errors
+///
+/// Returns the injected error when the plan fires for `op`.
+pub(crate) fn check_fault(plan: &mut Option<FaultPlan>, op: FaultOp) -> Result<(), StorageError> {
+    match plan {
+        Some(p) => p.check(op),
+        None => Ok(()),
+    }
+}
+
+/// Bit-rot: flips one bit of the byte at `offset` in `path`, in place.
+/// Returns the new byte value.
+///
+/// # Errors
+///
+/// I/O failures, or `InvalidInput` if `offset` is beyond the file end.
+pub fn flip_byte_in_file(path: impl AsRef<Path>, offset: u64) -> io::Result<u8> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if offset >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} beyond file length {len}"),
+        ));
+    }
+    f.seek(SeekFrom::Start(offset))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    b[0] ^= 0x40;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)?;
+    f.sync_data()?;
+    Ok(b[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_exactly_once() {
+        let mut plan = FaultPlan::new();
+        plan.arm(FaultOp::Flush);
+        assert!(!plan.should_fail(FaultOp::Append));
+        assert!(plan.should_fail(FaultOp::Flush));
+        assert!(!plan.should_fail(FaultOp::Flush));
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn seeded_draws_replay() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed).with_prob(FaultOp::Append, 0.3);
+            (0..64).map(|_| plan.should_fail(FaultOp::Append)).collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn zero_probability_never_fires_and_draws_nothing() {
+        let mut plan = FaultPlan::seeded(1);
+        let before = plan.rng_state;
+        for _ in 0..100 {
+            assert!(!plan.should_fail(FaultOp::Append));
+        }
+        assert_eq!(plan.rng_state, before, "p=0 must not consume the stream");
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let mut plan = FaultPlan::seeded(1).with_prob(FaultOp::Flush, 1.0);
+        for _ in 0..16 {
+            assert!(plan.should_fail(FaultOp::Flush));
+        }
+        assert_eq!(plan.fired(), 16);
+    }
+
+    #[test]
+    fn injected_error_is_io() {
+        assert!(matches!(injected_error(FaultOp::Append), StorageError::Io(_)));
+    }
+}

@@ -14,6 +14,7 @@
 //! synchronous (they are rare and ordering-critical); log appends are the
 //! hot path and honor the flush boundary so drivers can group-commit.
 
+use crate::fault::{check_fault, FaultOp, FaultPlan};
 use crate::record::{
     decode_epochs, decode_snapshot, encode_epochs, encode_log_record, encode_snapshot,
     log_record_len, log_record_prefix, scan_log, RECORD_PREFIX_LEN,
@@ -51,6 +52,8 @@ pub struct FileStorage {
     snapshot: Option<(Bytes, Zxid)>,
     /// True when the log file has appends not yet `sync_data`'d.
     dirty: bool,
+    /// Injected-fault schedule, if any (see [`crate::fault`]).
+    faults: Option<FaultPlan>,
 }
 
 impl FileStorage {
@@ -91,6 +94,12 @@ impl FileStorage {
         let mut data = Vec::new();
         log.read_to_end(&mut data)?;
         let scan = scan_log(data);
+        if scan.resume_after_damage.is_some() {
+            // Intact records continue past the damage: bit-rot, not a torn
+            // write. Truncating here would drop committed transactions, so
+            // recovery refuses and leaves the file for forensics.
+            return Err(StorageError::MidFileCorrupt { offset: scan.valid_len });
+        }
         if scan.torn_tail {
             // Discard the torn tail, as ZooKeeper does on recovery.
             log.set_len(scan.valid_len)?;
@@ -117,7 +126,28 @@ impl FileStorage {
         // they are ignored by recover() but harmless in the file.
         let _ = base;
 
-        Ok(FileStorage { dir, log, index, accepted_epoch, current_epoch, snapshot, dirty: false })
+        Ok(FileStorage {
+            dir,
+            log,
+            index,
+            accepted_epoch,
+            current_epoch,
+            snapshot,
+            dirty: false,
+            faults: None,
+        })
+    }
+
+    /// Installs (or clears) an injected-fault schedule. Subsequent storage
+    /// operations consult the plan and fail with the injected error when it
+    /// fires, before mutating anything.
+    pub fn set_faults(&mut self, faults: Option<FaultPlan>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
     }
 
     /// The storage directory.
@@ -228,16 +258,19 @@ fn sync_dir(dir: &Path) -> Result<(), StorageError> {
 
 impl Storage for FileStorage {
     fn set_accepted_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
         self.accepted_epoch = epoch;
         self.write_epochs()
     }
 
     fn set_current_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
         self.current_epoch = epoch;
         self.write_epochs()
     }
 
     fn append_txns(&mut self, txns: &[Txn]) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Append)?;
         if txns.is_empty() {
             return Ok(());
         }
@@ -271,6 +304,7 @@ impl Storage for FileStorage {
     }
 
     fn truncate(&mut self, to: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Truncate)?;
         let keep = self.index.partition_point(|&(z, _)| z <= to);
         let new_len = if keep == 0 { 0 } else { self.index[keep - 1].1 };
         self.index.truncate(keep);
@@ -281,12 +315,14 @@ impl Storage for FileStorage {
     }
 
     fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::SnapshotReplace)?;
         self.snapshot = Some((snapshot, zxid));
         self.write_snapshot_file()?;
         self.rewrite_log(&[])
     }
 
     fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Compact)?;
         // Collect the suffix beyond the compaction point before rewriting.
         let recovered = self.recover()?;
         let suffix: Vec<Txn> = recovered.history.txns_after(zxid).to_vec();
@@ -296,6 +332,7 @@ impl Storage for FileStorage {
     }
 
     fn flush(&mut self) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Flush)?;
         if self.dirty {
             self.log.sync_data()?;
             self.dirty = false;
@@ -311,6 +348,9 @@ impl Storage for FileStorage {
         let mut f = File::open(self.dir.join("log"))?;
         f.read_to_end(&mut data)?;
         let scan = scan_log(data);
+        if scan.resume_after_damage.is_some() {
+            return Err(StorageError::MidFileCorrupt { offset: scan.valid_len });
+        }
         let txns: Vec<Txn> = scan.txns.into_iter().filter(|t| t.zxid > base).collect();
         let history = History::from_recovered(base, txns, base);
         Ok(Recovered {
@@ -480,6 +520,65 @@ mod tests {
         let mut s = FileStorage::open(&dir).unwrap();
         s.append_txns(&[txn(1, 5)]).unwrap();
         assert!(matches!(s.append_txns(&[txn(1, 4)]), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = tempdir();
+        {
+            let mut s = FileStorage::open(&dir).unwrap();
+            s.append_txns(&[txn(1, 1), txn(1, 2), txn(1, 3)]).unwrap();
+            s.flush().unwrap();
+        }
+        // Rot one payload byte of the *middle* record: records resume
+        // after the damage, so recovery must refuse, not truncate.
+        let first_len = encode_log_record(&txn(1, 1)).len() as u64;
+        crate::fault::flip_byte_in_file(dir.join("log"), first_len + RECORD_PREFIX_LEN as u64)
+            .unwrap();
+        match FileStorage::open(&dir) {
+            Err(StorageError::MidFileCorrupt { offset }) => assert_eq!(offset, first_len),
+            other => panic!("expected MidFileCorrupt, got {other:?}"),
+        }
+        // The file was left untouched for forensics.
+        let len = fs::metadata(dir.join("log")).unwrap().len();
+        assert_eq!(len, 3 * first_len);
+    }
+
+    #[test]
+    fn rot_in_final_record_truncates_like_a_torn_tail() {
+        let dir = tempdir();
+        {
+            let mut s = FileStorage::open(&dir).unwrap();
+            s.append_txns(&[txn(1, 1), txn(1, 2)]).unwrap();
+            s.flush().unwrap();
+        }
+        let record_len = encode_log_record(&txn(1, 1)).len() as u64;
+        crate::fault::flip_byte_in_file(dir.join("log"), record_len + RECORD_PREFIX_LEN as u64)
+            .unwrap();
+        // Nothing intact follows the damage: indistinguishable from a torn
+        // write, so the safe recovery is to drop it.
+        let s = FileStorage::open(&dir).unwrap();
+        let r = s.recover().unwrap();
+        assert_eq!(r.history.len(), 1);
+        assert_eq!(r.history.last_zxid(), Zxid::new(Epoch(1), 1));
+    }
+
+    #[test]
+    fn injected_faults_fire_on_file_storage() {
+        let dir = tempdir();
+        let mut s = FileStorage::open(&dir).unwrap();
+        let mut plan = crate::fault::FaultPlan::new();
+        plan.arm(FaultOp::Append);
+        plan.arm(FaultOp::Flush);
+        s.set_faults(Some(plan));
+        assert!(matches!(s.append_txns(&[txn(1, 1)]), Err(StorageError::Io(_))));
+        // Injection happens before any mutation: the log is still empty.
+        assert_eq!(s.log_records(), 0);
+        assert!(matches!(s.flush(), Err(StorageError::Io(_))));
+        // One-shot arms consumed: retries succeed.
+        s.append_txns(&[txn(1, 1)]).unwrap();
+        s.flush().unwrap();
+        assert!(!s.faults_mut().unwrap().armed());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(recovered.history.len(), 1);
 //! ```
 
+pub mod fault;
 pub mod file;
 pub mod mem;
 pub mod record;
@@ -45,6 +46,7 @@ use std::error::Error;
 use std::fmt;
 use zab_core::{Epoch, History, PersistRequest, PersistentState, Zxid};
 
+pub use fault::{FaultOp, FaultPlan};
 pub use file::FileStorage;
 pub use mem::MemStorage;
 
@@ -55,6 +57,14 @@ pub enum StorageError {
     Io(std::io::Error),
     /// Stored data failed validation (checksum, ordering, truncation).
     Corrupt(String),
+    /// Intact log records resume *after* a damaged region: the damage is
+    /// bit-rot / media corruption inside the file body, not a torn tail,
+    /// and truncating at the damage would silently drop committed
+    /// transactions. Recovery must refuse rather than repair.
+    MidFileCorrupt {
+        /// Byte offset of the first damaged record.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +72,13 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
             StorageError::Corrupt(why) => write!(f, "storage corrupt: {why}"),
+            StorageError::MidFileCorrupt { offset } => {
+                write!(
+                    f,
+                    "storage corrupt mid-file at byte {offset}: intact records follow the \
+                     damaged region (bit-rot, not a torn tail)"
+                )
+            }
         }
     }
 }
@@ -70,7 +87,7 @@ impl Error for StorageError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
-            StorageError::Corrupt(_) => None,
+            StorageError::Corrupt(_) | StorageError::MidFileCorrupt { .. } => None,
         }
     }
 }

@@ -13,6 +13,7 @@
 //! and frequent group commits stay linear. Only a crash pays an O(state)
 //! copy, and crashes are rare events in any schedule.
 
+use crate::fault::{check_fault, FaultOp, FaultPlan};
 use crate::{Recovered, Storage, StorageError};
 use bytes::Bytes;
 use zab_core::{Epoch, History, Txn, Zxid};
@@ -87,12 +88,26 @@ pub struct MemStorage {
     journal: Vec<JournalOp>,
     /// Count of flushes performed (observability for flush-policy tests).
     flush_count: u64,
+    /// Injected-fault schedule, if any (see [`crate::fault`]).
+    faults: Option<FaultPlan>,
 }
 
 impl MemStorage {
     /// Creates empty storage.
     pub fn new() -> MemStorage {
         MemStorage::default()
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan. Faults
+    /// fire *before* the operation mutates anything, so a failed operation
+    /// never half-applies.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Mutable access to the installed fault plan (to arm one-shots).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
     }
 
     /// Simulates a crash: applied-but-unflushed writes are lost.
@@ -119,16 +134,19 @@ impl MemStorage {
 
 impl Storage for MemStorage {
     fn set_accepted_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
         self.record(JournalOp::SetAccepted(epoch));
         Ok(())
     }
 
     fn set_current_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
         self.record(JournalOp::SetCurrent(epoch));
         Ok(())
     }
 
     fn append_txns(&mut self, txns: &[Txn]) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Append)?;
         let mut last = self.applied.last_zxid();
         for txn in txns {
             if txn.zxid <= last {
@@ -144,21 +162,25 @@ impl Storage for MemStorage {
     }
 
     fn truncate(&mut self, to: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Truncate)?;
         self.record(JournalOp::Truncate(to));
         Ok(())
     }
 
     fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::SnapshotReplace)?;
         self.record(JournalOp::Reset { snapshot, zxid });
         self.flush()
     }
 
     fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Compact)?;
         self.record(JournalOp::Compact { snapshot, zxid });
         self.flush()
     }
 
     fn flush(&mut self) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, FaultOp::Flush)?;
         for op in self.journal.drain(..) {
             self.durable.apply(&op);
         }
@@ -284,6 +306,39 @@ mod tests {
         let r = s.recover().unwrap();
         assert_eq!(r.accepted_epoch, Epoch(3));
         assert_eq!(r.history.base(), Zxid::new(Epoch(3), 10));
+    }
+
+    #[test]
+    fn injected_flush_failure_keeps_writes_volatile() {
+        let mut s = MemStorage::new();
+        s.append_txns(&[txn(1, 1)]).unwrap();
+        s.flush().unwrap();
+        let mut plan = FaultPlan::new();
+        plan.arm(FaultOp::Flush);
+        s.set_faults(Some(plan));
+        s.append_txns(&[txn(1, 2)]).unwrap();
+        assert!(matches!(s.flush(), Err(StorageError::Io(_))));
+        // The failed fsync left the write volatile: a crash loses it, the
+        // flushed prefix survives.
+        s.crash();
+        assert_eq!(s.recover().unwrap().history.last_zxid(), Zxid::new(Epoch(1), 1));
+        // A retried flush (fault was one-shot) makes progress again.
+        s.append_txns(&[txn(1, 2)]).unwrap();
+        s.flush().unwrap();
+        s.crash();
+        assert_eq!(s.recover().unwrap().history.len(), 2);
+    }
+
+    #[test]
+    fn injected_append_failure_leaves_state_consistent() {
+        let mut s = MemStorage::new();
+        let mut plan = FaultPlan::new();
+        plan.arm(FaultOp::Append);
+        s.set_faults(Some(plan));
+        assert!(matches!(s.append_txns(&[txn(1, 1)]), Err(StorageError::Io(_))));
+        assert_eq!(s.log_len(), 0);
+        s.append_txns(&[txn(1, 1)]).unwrap();
+        assert_eq!(s.log_len(), 1);
     }
 
     #[test]

@@ -76,27 +76,37 @@ pub fn encode_log_record(txn: &Txn) -> Vec<u8> {
 pub struct LogScan {
     /// Intact transactions, in file order.
     pub txns: Vec<Txn>,
-    /// Bytes of the intact prefix; everything after is a torn tail.
+    /// Bytes of the intact prefix; everything after is damaged.
     pub valid_len: u64,
-    /// True if a torn/corrupt tail was discarded.
+    /// True if damage (torn or corrupt bytes) follows the intact prefix.
     pub torn_tail: bool,
+    /// When damage was found *and* at least one intact record resumes
+    /// after it: the byte offset of that record. `Some` means the damage
+    /// is mid-file corruption (bit-rot) — truncating at `valid_len` would
+    /// drop committed transactions — so recovery must refuse. `None` with
+    /// `torn_tail` means an ordinary torn tail, safe to truncate.
+    pub resume_after_damage: Option<u64>,
 }
 
 /// Scans raw log bytes, returning every intact record and the length of
-/// the valid prefix. Corruption mid-file (not at the tail) still stops the
-/// scan — the caller decides whether truncating there is acceptable.
+/// the valid prefix. When the scan stops before end-of-file it probes the
+/// remaining bytes for an intact record, distinguishing a **torn tail**
+/// (nothing valid follows; truncation is safe) from **mid-file
+/// corruption** (valid records resume; truncation would lose data) — see
+/// [`LogScan::resume_after_damage`].
 ///
 /// The scan is CRC-verified but copy-free: `data` becomes one refcounted
 /// buffer and every recovered `Txn` payload is a [`Bytes`] view into it,
 /// so replaying a large log allocates nothing per record.
 pub fn scan_log(data: impl Into<Bytes>) -> LogScan {
     let data: Bytes = data.into();
+    let raw = data.clone();
     let total = data.len() as u64;
     let mut dec = zab_wire::frame::FrameDecoder::new();
     dec.extend_bytes(data);
     let mut txns = Vec::new();
     let mut valid_len = 0u64;
-    loop {
+    let damaged = loop {
         match dec.next_frame() {
             Ok(Some(payload)) => {
                 let record_len = (zab_wire::frame::HEADER_LEN + payload.len()) as u64;
@@ -106,21 +116,48 @@ pub fn scan_log(data: impl Into<Bytes>) -> LogScan {
                         valid_len += record_len;
                         txns.push(txn);
                     }
-                    _ => {
-                        // Record framed correctly but body malformed: stop.
-                        return LogScan { txns, valid_len, torn_tail: true };
+                    // Record framed correctly but body malformed: stop.
+                    _ => break true,
+                }
+            }
+            Ok(None) => break valid_len != total,
+            Err(_) => break true,
+        }
+    };
+    let resume_after_damage = if damaged {
+        let last = txns.last().map_or(Zxid::ZERO, |t| t.zxid);
+        probe_resume(&raw, valid_len + 1, last)
+    } else {
+        None
+    };
+    LogScan { txns, valid_len, torn_tail: damaged, resume_after_damage }
+}
+
+/// Searches `raw[from..]` for an intact log record (valid frame, body a
+/// well-formed [`Txn`] with zxid above `last`). Returns its offset — the
+/// signature of mid-file corruption, since a torn tail has nothing valid
+/// after the damage. Only runs on the (rare) damaged-recovery path.
+fn probe_resume(raw: &Bytes, from: u64, last: Zxid) -> Option<u64> {
+    const HEADER: usize = zab_wire::frame::HEADER_LEN;
+    let total = raw.len();
+    let mut o = from as usize;
+    while o + RECORD_PREFIX_LEN <= total {
+        let len = u32::from_le_bytes([raw[o], raw[o + 1], raw[o + 2], raw[o + 3]]) as usize;
+        let end = o + HEADER + len;
+        if (12..=zab_wire::frame::MAX_FRAME_LEN).contains(&len) && end <= total {
+            let stored = u32::from_le_bytes([raw[o + 4], raw[o + 5], raw[o + 6], raw[o + 7]]);
+            if crc32c(&raw[o + HEADER..end]) == stored {
+                let mut cur = BytesCursor::new(raw.slice(o + HEADER..end));
+                if let Ok(txn) = Txn::decode(&mut cur) {
+                    if cur.wire_is_empty() && txn.zxid > last {
+                        return Some(o as u64);
                     }
                 }
             }
-            Ok(None) => {
-                let torn = valid_len != total;
-                return LogScan { txns, valid_len, torn_tail: torn };
-            }
-            Err(_) => {
-                return LogScan { txns, valid_len, torn_tail: true };
-            }
         }
+        o += 1;
     }
+    None
 }
 
 /// Encodes the epoch pair record.
@@ -227,6 +264,7 @@ mod tests {
         assert!(scan.torn_tail);
         assert_eq!(scan.valid_len, good_len);
         assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.resume_after_damage, None, "a torn tail has no resume point");
     }
 
     #[test]
@@ -238,11 +276,45 @@ mod tests {
         let n = bad.len();
         bad[n - 1] ^= 0xFF;
         data.extend(bad);
+        let resume_at = data.len() as u64;
         data.extend(encode_log_record(&txn(3)));
         let scan = scan_log(data);
         assert!(scan.torn_tail);
         assert_eq!(scan.valid_len, good_len);
         assert_eq!(scan.txns.len(), 1);
+        // An intact record follows the damage: mid-file corruption.
+        assert_eq!(scan.resume_after_damage, Some(resume_at));
+    }
+
+    #[test]
+    fn corrupt_final_record_is_a_tail_not_mid_file() {
+        let mut data = Vec::new();
+        data.extend(encode_log_record(&txn(1)));
+        let mut bad = encode_log_record(&txn(2));
+        bad[10] ^= 0x40; // zxid byte: CRC fails
+        data.extend(bad);
+        let scan = scan_log(data);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.resume_after_damage, None);
+    }
+
+    #[test]
+    fn damaged_length_prefix_still_finds_resume() {
+        // Flip a byte in the length field of record 2's header so the
+        // frame decoder mis-frames; record 3 must still be found intact.
+        let mut data = Vec::new();
+        data.extend(encode_log_record(&txn(1)));
+        let good_len = data.len() as u64;
+        let mut bad = encode_log_record(&txn(2));
+        bad[0] ^= 0x04;
+        data.extend(bad);
+        let resume_at = data.len() as u64;
+        data.extend(encode_log_record(&txn(3)));
+        let scan = scan_log(data);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.resume_after_damage, Some(resume_at));
     }
 
     #[test]

@@ -163,6 +163,62 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Fault-injected appends and flushes: an injected I/O error may fail
+    /// the operation, but it never corrupts state — both stores fail
+    /// identically (same seeded plan), stay in agreement, and once the
+    /// faults clear, recovery yields exactly the successfully-appended
+    /// prefix, in order.
+    #[test]
+    fn injected_append_flush_faults_never_corrupt_state(
+        seed in any::<u64>(),
+        append_permille in 0u32..500,
+        flush_permille in 0u32..500,
+        rounds in 1u32..40,
+    ) {
+        use zab_log::{FaultOp, FaultPlan, StorageError};
+        let dir = tempdir();
+        let mut mem = MemStorage::new();
+        let mut file = FileStorage::open(&dir).expect("open");
+        let plan = |s: u64| {
+            FaultPlan::seeded(s)
+                .with_prob(FaultOp::Append, f64::from(append_permille) / 1000.0)
+                .with_prob(FaultOp::Flush, f64::from(flush_permille) / 1000.0)
+        };
+        mem.set_faults(Some(plan(seed)));
+        file.set_faults(Some(plan(seed)));
+
+        let mut highest_ok = 0u32;
+        let mut next = 1u32;
+        for _ in 0..rounds {
+            let txn = Txn::new(Zxid::new(Epoch(1), next), vec![next as u8; 8]);
+            let m = mem.append_txns(std::slice::from_ref(&txn));
+            let f = file.append_txns(std::slice::from_ref(&txn));
+            prop_assert_eq!(m.is_ok(), f.is_ok(), "stores diverged on an injected append fault");
+            match m {
+                Ok(()) => {
+                    highest_ok = next;
+                    next += 1;
+                }
+                // Injected faults are I/O errors, never silent corruption.
+                Err(e) => prop_assert!(matches!(e, StorageError::Io(_)), "unexpected: {}", e),
+            }
+            let (mf, ff) = (mem.flush(), file.flush());
+            prop_assert_eq!(mf.is_ok(), ff.is_ok(), "stores diverged on an injected flush fault");
+        }
+
+        // Clear the faults: everything that was accepted must be there.
+        mem.set_faults(None);
+        file.set_faults(None);
+        mem.flush().expect("mem flush after clearing faults");
+        file.flush().expect("file flush after clearing faults");
+        for r in [mem.recover().expect("mem recover"), file.recover().expect("file recover")] {
+            let zxids: Vec<u32> = r.history.txns().iter().map(|t| t.zxid.counter()).collect();
+            let expect: Vec<u32> = (1..=highest_ok).collect();
+            prop_assert_eq!(zxids, expect);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Crash simulation: anything after the last flush may vanish, but
     /// recovered state is always a legal prefix of what was applied.
     #[test]

@@ -32,6 +32,10 @@ pub enum Role {
         /// True once synced and serving.
         active: bool,
     },
+    /// Fail-stopped after a storage error: out of the protocol (a leader
+    /// has stepped down, a follower no longer acks) but still serving
+    /// stale reads from the applied state. Requires a restart to rejoin.
+    Faulted,
 }
 
 /// Events surfaced to the embedding program.
@@ -48,11 +52,36 @@ pub enum NodeEvent {
         /// Why.
         reason: String,
     },
+    /// A storage operation failed; the replica fail-stopped (see
+    /// [`Role::Faulted`]). The embedding program decides whether to page
+    /// an operator, restart, or decommission.
+    StorageFault {
+        /// Which operation failed (e.g. `"append/flush"`, `"recover"`).
+        context: String,
+        /// The underlying error.
+        error: String,
+    },
+    /// An outgoing dial to a peer failed (the transport is backing off).
+    PeerUnreachable {
+        /// The peer.
+        peer: ServerId,
+        /// Consecutive failures so far (0 = first).
+        attempt: u32,
+        /// The dial error.
+        error: String,
+    },
 }
 
 enum Command {
     Submit(Vec<u8>),
     Shutdown,
+}
+
+/// Disk-thread completions. Errors are *reported*, never swallowed: the
+/// event loop turns a `Faulted` into a fail-stop.
+enum DiskDone {
+    Flushed(PersistToken),
+    Faulted { context: String, error: String },
 }
 
 enum DiskCmd {
@@ -86,20 +115,34 @@ impl<A: Application> Replica<A> {
     ///
     /// Fails on socket bind or storage errors.
     pub fn start(cfg: NodeConfig, app: A) -> Result<Replica<A>, Box<dyn std::error::Error>> {
-        let id = cfg.id;
-        let listen = cfg.peers[&id];
-        let transport = Transport::start(id, listen, cfg.peers.clone())?;
-
         let storage: Box<dyn Storage + Send> = match &cfg.data_dir {
             Some(dir) => Box::new(FileStorage::open(dir)?),
             None => Box::new(MemStorage::new()),
         };
+        Self::start_with_storage(cfg, app, storage)
+    }
+
+    /// Like [`Replica::start`] but with caller-provided storage — e.g. a
+    /// [`MemStorage`] armed with a [`zab_log::FaultPlan`] to test the
+    /// fail-stop path, or a custom [`Storage`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket bind errors.
+    pub fn start_with_storage(
+        cfg: NodeConfig,
+        app: A,
+        storage: Box<dyn Storage + Send>,
+    ) -> Result<Replica<A>, Box<dyn std::error::Error>> {
+        let id = cfg.id;
+        let listen = cfg.peers[&id];
+        let transport = Transport::start(id, listen, cfg.peers.clone())?;
         let storage = Arc::new(Mutex::new(storage));
 
         let (commands_tx, commands_rx) = unbounded();
         let (events_tx, events_rx) = unbounded();
         let (disk_tx, disk_rx) = unbounded::<DiskCmd>();
-        let (done_tx, done_rx) = unbounded::<PersistToken>();
+        let (done_tx, done_rx) = unbounded::<DiskDone>();
         let role = Arc::new(Mutex::new(Role::Looking));
         let app = Arc::new(Mutex::new(app));
 
@@ -129,26 +172,32 @@ impl<A: Application> Replica<A> {
                 }
                 if !batch.is_empty() {
                     let last = batch.last().expect("nonempty").0;
-                    {
+                    let failed = {
                         let mut s = disk_storage.lock();
-                        for (_, req) in &batch {
-                            if s.apply(req).is_err() {
-                                // Divergent write: surface by stopping; the
-                                // event loop treats missing completions as
-                                // a wedged disk.
-                                return;
-                            }
-                        }
-                        if s.flush().is_err() {
-                            return;
-                        }
+                        batch
+                            .iter()
+                            .find_map(|(_, req)| s.apply(req).err())
+                            .or_else(|| s.flush().err())
+                    };
+                    if let Some(e) = failed {
+                        // Report, then fail-stop: the event loop steps the
+                        // replica out of the protocol.
+                        let _ = done_tx.send(DiskDone::Faulted {
+                            context: "append/flush".to_string(),
+                            error: e.to_string(),
+                        });
+                        return;
                     }
-                    if done_tx.send(last).is_err() {
+                    if done_tx.send(DiskDone::Flushed(last)).is_err() {
                         return;
                     }
                 }
                 if let Some((snapshot, through)) = compact {
-                    if disk_storage.lock().compact(snapshot, through).is_err() {
+                    if let Err(e) = disk_storage.lock().compact(snapshot, through) {
+                        let _ = done_tx.send(DiskDone::Faulted {
+                            context: "compact".to_string(),
+                            error: e.to_string(),
+                        });
                         return;
                     }
                 }
@@ -169,6 +218,7 @@ impl<A: Application> Replica<A> {
             events_tx,
             role: Arc::clone(&role),
             was_primary: false,
+            faulted: false,
             start: std::time::Instant::now(),
             applied_since_compact: 0,
         };
@@ -239,11 +289,13 @@ struct EventLoop<A: Application> {
     zab: Option<Zab>,
     app: Arc<Mutex<A>>,
     disk_tx: Sender<DiskCmd>,
-    done_rx: Receiver<PersistToken>,
+    done_rx: Receiver<DiskDone>,
     commands_rx: Receiver<Command>,
     events_tx: Sender<NodeEvent>,
     role: Arc<Mutex<Role>>,
     was_primary: bool,
+    /// Fail-stopped after a storage error (see [`Role::Faulted`]).
+    faulted: bool,
     start: std::time::Instant,
     applied_since_compact: u64,
 }
@@ -262,11 +314,15 @@ impl<A: Application> EventLoop<A> {
                     Ok(Command::Submit(request)) => self.on_submit(request),
                     Ok(Command::Shutdown) | Err(_) => return,
                 },
-                recv(self.done_rx) -> token => {
-                    if let Ok(token) = token {
+                recv(self.done_rx) -> done => match done {
+                    Ok(DiskDone::Flushed(token)) => {
                         self.feed_zab(Input::Persisted { token });
                     }
-                }
+                    Ok(DiskDone::Faulted { context, error }) => {
+                        self.enter_faulted(context, error);
+                    }
+                    Err(_) => {}
+                },
                 recv(self.transport.events()) -> ev => match ev {
                     Ok(TransportEvent::Message { from, msg }) => match msg {
                         TransportMsg::Zab(m) => {
@@ -278,6 +334,13 @@ impl<A: Application> EventLoop<A> {
                     },
                     Ok(TransportEvent::PeerDisconnected { peer }) => {
                         self.feed_zab(Input::PeerDisconnected { peer });
+                    }
+                    Ok(TransportEvent::ConnectFailed { peer, attempt, error }) => {
+                        let _ = self.events_tx.send(NodeEvent::PeerUnreachable {
+                            peer,
+                            attempt,
+                            error,
+                        });
                     }
                     Err(_) => return,
                 },
@@ -291,8 +354,30 @@ impl<A: Application> EventLoop<A> {
         }
     }
 
+    /// Fail-stop on a storage error: step out of the protocol entirely
+    /// (a leader stops pinging, so followers elect a successor; a
+    /// follower stops acking, so it never falsely confirms durability)
+    /// while the applied state stays readable via [`Replica::with_app`].
+    fn enter_faulted(&mut self, context: String, error: String) {
+        if self.faulted {
+            return;
+        }
+        self.faulted = true;
+        self.zab = None;
+        self.election = None;
+        let _ = self.events_tx.send(NodeEvent::StorageFault { context, error });
+    }
+
     fn begin_election(&mut self) {
-        let rec = self.storage.lock().recover().expect("storage recovers");
+        let recovered = self.storage.lock().recover();
+        let rec = match recovered {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.enter_faulted("recover".to_string(), e.to_string());
+                self.publish_role();
+                return;
+            }
+        };
         // Restore the application from the durable snapshot if it is
         // behind the log's compaction point.
         {
@@ -326,7 +411,14 @@ impl<A: Application> EventLoop<A> {
                     self.transport.send(to, TransportMsg::Election(notification));
                 }
                 ElectionAction::Decided { leader } => {
-                    let rec = self.storage.lock().recover().expect("storage recovers");
+                    let recovered = self.storage.lock().recover();
+                    let rec = match recovered {
+                        Ok(rec) => rec,
+                        Err(e) => {
+                            self.enter_faulted("recover".to_string(), e.to_string());
+                            return;
+                        }
+                    };
                     let applied_to = self.app.lock().applied_to();
                     let (zab, acts) = Zab::from_election(
                         self.id,
@@ -379,10 +471,14 @@ impl<A: Application> EventLoop<A> {
                 }
                 Action::GoToElection { .. } => {
                     self.zab = None;
-                    let rec =
-                        self.storage.lock().recover().unwrap_or_else(|e| {
-                            panic!("storage recover failed on {}: {e}", self.id)
-                        });
+                    let recovered = self.storage.lock().recover();
+                    let rec = match recovered {
+                        Ok(rec) => rec,
+                        Err(e) => {
+                            self.enter_faulted("recover".to_string(), e.to_string());
+                            return;
+                        }
+                    };
                     let now_ms = self.now_ms();
                     let el = self.election.as_mut().expect("election exists");
                     let acts = el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
@@ -413,10 +509,10 @@ impl<A: Application> EventLoop<A> {
     fn on_submit(&mut self, request: Vec<u8>) {
         let is_primary = matches!(&self.zab, Some(Zab::Leader(l)) if l.is_established());
         if !is_primary {
-            let _ = self.events_tx.send(NodeEvent::Rejected {
-                request: Bytes::from(request),
-                reason: "NotPrimary".to_string(),
-            });
+            let reason =
+                if self.faulted { "StorageFaulted".to_string() } else { "NotPrimary".to_string() };
+            let _ =
+                self.events_tx.send(NodeEvent::Rejected { request: Bytes::from(request), reason });
             return;
         }
         let executed = self.app.lock().execute(&request);
@@ -431,6 +527,9 @@ impl<A: Application> EventLoop<A> {
     }
 
     fn current_role(&self) -> Role {
+        if self.faulted {
+            return Role::Faulted;
+        }
         match &self.zab {
             None => Role::Looking,
             Some(Zab::Leader(l)) => {

@@ -1,0 +1,58 @@
+//! Seeded chaos sweep driver.
+//!
+//! ```text
+//! chaos_search [START_SEED] [COUNT]
+//! ```
+//!
+//! Runs `COUNT` (default 64) chaos schedules starting at `START_SEED`
+//! (default 0) with the default [`zab_simnet::ChaosConfig`]. On the first
+//! failure it prints the replayable `(seed, schedule)` report, writes it
+//! to `chaos-failure.txt` (or `$CHAOS_ARTIFACT` if set) for CI artifact
+//! upload, and exits nonzero.
+
+use zab_simnet::chaos::{self, ChaosConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let start: u64 = args.next().map_or(0, |a| a.parse().expect("START_SEED must be a u64"));
+    let count: u64 = args.next().map_or(64, |a| a.parse().expect("COUNT must be a u64"));
+    let cfg = ChaosConfig::default();
+
+    println!(
+        "chaos sweep: seeds {start}..{} ({} nodes, {} steps/run, disk faults {}, clock skew {})",
+        start + count,
+        cfg.nodes,
+        cfg.steps,
+        if cfg.disk_faults { "on" } else { "off" },
+        if cfg.clock_skew { "on" } else { "off" },
+    );
+
+    match chaos::sweep(start, count, &cfg) {
+        Ok(reports) => {
+            let ops: u64 = reports.iter().map(|r| r.ops_completed).sum();
+            let faults: u64 = reports.iter().map(|r| r.storage_faults).sum();
+            let msgs: u64 = reports.iter().map(|r| r.messages_delivered).sum();
+            let dropped: u64 = reports.iter().map(|r| r.messages_dropped).sum();
+            let elections: u64 = reports.iter().map(|r| r.elections_started).sum();
+            let virt_s: f64 = reports.iter().map(|r| r.end_us).sum::<u64>() as f64 / 1_000_000.0;
+            println!(
+                "PASS: {} runs, {virt_s:.1}s virtual time, {ops} ops committed, \
+                 {msgs} msgs delivered ({dropped} dropped), {elections} elections, \
+                 {faults} injected storage fail-stops",
+                reports.len(),
+            );
+        }
+        Err(failure) => {
+            let report = failure.to_string();
+            eprintln!("{report}");
+            let path =
+                std::env::var("CHAOS_ARTIFACT").unwrap_or_else(|_| "chaos-failure.txt".to_string());
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("could not write failure artifact {path}: {e}");
+            } else {
+                eprintln!("failure artifact written to {path}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

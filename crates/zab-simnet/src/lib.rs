@@ -41,12 +41,14 @@
 //! ```
 
 pub mod app;
+pub mod chaos;
 pub mod checker;
 pub mod sim;
 pub mod stats;
 pub mod workload;
 
 pub use app::ReplicatedLog;
+pub use chaos::{ChaosConfig, ChaosFailure, ChaosOp, ChaosReport, ChaosSchedule};
 pub use checker::{check_all, CheckerError};
 pub use sim::{Sim, SimBuilder, SimEventKind};
 pub use stats::{LatencyStats, SimStats};

@@ -15,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use zab_core::{Action, ClusterConfig, Input, Message, PersistToken, ServerId, Zab};
 use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
-use zab_log::{MemStorage, Storage};
+use zab_log::{FaultOp, FaultPlan, MemStorage, Storage};
 
 /// What travels on a simulated link.
 #[derive(Debug, Clone)]
@@ -70,6 +70,9 @@ impl Ord for EventEntry {
 /// A simulated process: storage + election + protocol automaton + app.
 struct Node {
     up: bool,
+    /// Fail-stopped on a storage error: protocol participation halted
+    /// (no acking, no leading) but the applied state keeps serving reads.
+    faulted: bool,
     incarnation: u64,
     storage: MemStorage,
     election: Option<Election>,
@@ -92,6 +95,16 @@ enum LocalInput {
 enum Workload {
     Closed(ClosedLoopSpec),
     Open(OpenLoopSpec),
+}
+
+/// Only injected I/O errors are tolerable storage failures; a `Corrupt`
+/// error from the simulated store means the protocol wrote out of order —
+/// an implementation bug that must fail the run loudly, not degrade.
+fn assert_io_fault(e: &zab_log::StorageError) {
+    assert!(
+        matches!(e, zab_log::StorageError::Io(_)),
+        "simulated storage rejected a protocol write (implementation bug): {e}"
+    );
 }
 
 /// Configures and builds a [`Sim`].
@@ -215,12 +228,15 @@ impl SimBuilder {
             wl_next_op: 0,
             wl_issued: 0,
             wl_in_flight: BTreeMap::new(),
+            message_loss: 0.0,
+            clock_skew_ms: BTreeMap::new(),
         };
         for &id in &ids {
             sim.nodes.insert(
                 id,
                 Node {
                     up: true,
+                    faulted: false,
                     incarnation: 0,
                     storage: MemStorage::new(),
                     election: None,
@@ -265,6 +281,10 @@ pub struct Sim {
     wl_issued: u64,
     /// op id → issue time.
     wl_in_flight: BTreeMap<u64, u64>,
+    /// Probability each sent message is silently dropped in flight.
+    message_loss: f64,
+    /// Per-node clock offset applied to every `now_ms` it observes.
+    clock_skew_ms: BTreeMap<ServerId, i64>,
 }
 
 impl Sim {
@@ -373,6 +393,15 @@ impl Sim {
         }
     }
 
+    /// Stops the installed workload: nothing further is issued, pending
+    /// issue/timeout events become no-ops, and already-committed operations
+    /// drain normally. Used by the chaos engine so the cluster can quiesce
+    /// before the final convergence check.
+    pub fn stop_workload(&mut self) {
+        self.workload = None;
+        self.wl_in_flight.clear();
+    }
+
     /// Installs an open-loop workload and schedules every issue up front.
     pub fn install_open_loop(&mut self, spec: OpenLoopSpec) {
         self.workload = Some(Workload::Open(spec));
@@ -390,6 +419,7 @@ impl Sim {
             return;
         }
         node.up = false;
+        node.faulted = false;
         node.incarnation += 1;
         node.storage.crash();
         node.zab = None;
@@ -451,6 +481,57 @@ impl Sim {
         self.groups = ids.into_iter().map(|id| (id, 0)).collect();
     }
 
+    /// Sets the probability that any sent message is silently dropped in
+    /// flight (on top of partitions/crashes). `0.0` disables loss and
+    /// consumes no randomness, so loss-free runs keep their event streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_message_loss(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        self.message_loss = p;
+    }
+
+    /// Skews one node's clock by `skew_ms` (positive = ahead). Applied to
+    /// every `now_ms` the node's automata observe; safety must hold under
+    /// arbitrary skew (all timeout arithmetic saturates).
+    pub fn set_clock_skew_ms(&mut self, id: ServerId, skew_ms: i64) {
+        assert!(self.nodes.contains_key(&id), "unknown node {id:?}");
+        self.clock_skew_ms.insert(id, skew_ms);
+    }
+
+    /// Clears all clock skews (clocks return to simulated real time).
+    pub fn clear_clock_skews(&mut self) {
+        self.clock_skew_ms.clear();
+    }
+
+    /// Arms a one-shot storage fault on `id`: the next operation of kind
+    /// `op` against its log fails with an injected I/O error, fail-stopping
+    /// the node (see [`Sim::is_faulted`]).
+    pub fn arm_disk_fault(&mut self, id: ServerId, op: FaultOp) {
+        let node = self.nodes.get_mut(&id).expect("known node");
+        match node.storage.faults_mut() {
+            Some(plan) => plan.arm(op),
+            None => {
+                let mut plan = FaultPlan::new();
+                plan.arm(op);
+                node.storage.set_faults(Some(plan));
+            }
+        }
+    }
+
+    /// Removes any injected-fault schedule from `id`'s storage.
+    pub fn clear_disk_faults(&mut self, id: ServerId) {
+        self.nodes.get_mut(&id).expect("known node").storage.set_faults(None);
+    }
+
+    /// True if `id` fail-stopped on a storage error (up, serving reads,
+    /// but out of the protocol until crashed + restarted).
+    pub fn is_faulted(&self, id: ServerId) -> bool {
+        self.nodes[&id].faulted
+    }
+
     /// Runs the full PO-atomic-broadcast safety checker.
     ///
     /// # Errors
@@ -470,8 +551,12 @@ impl Sim {
     ///
     /// Returns a description of the first divergence in lengths.
     pub fn check_converged(&self) -> Result<(), String> {
-        let lens: BTreeMap<ServerId, usize> =
-            self.nodes.iter().filter(|(_, n)| n.up).map(|(&id, n)| (id, n.app.len())).collect();
+        let lens: BTreeMap<ServerId, usize> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.up && !n.faulted)
+            .map(|(&id, n)| (id, n.app.len()))
+            .collect();
         let mut values: Vec<usize> = lens.values().copied().collect();
         values.dedup();
         if values.len() > 1 {
@@ -489,12 +574,33 @@ impl Sim {
         self.events.push(EventEntry { time_us: self.now_us + delay_us, seq: self.seq, kind });
     }
 
+    /// The wall clock as observed by `id`: simulated time plus the node's
+    /// injected skew (clamped at zero).
+    fn node_now_ms(&self, id: ServerId) -> u64 {
+        let base = (self.now_us / 1_000) as i64;
+        let skew = self.clock_skew_ms.get(&id).copied().unwrap_or(0);
+        base.saturating_add(skew).max(0) as u64
+    }
+
+    /// Fail-stops `id` after a storage error: counts the fault and halts
+    /// protocol participation. The applied state stays readable; recovery
+    /// requires a crash + restart (operator intervention in real life).
+    fn storage_fault(&mut self, id: ServerId) {
+        self.stats.storage_faults += 1;
+        let node = self.nodes.get_mut(&id).expect("known node");
+        node.faulted = true;
+        node.zab = None;
+        node.election = None;
+        node.pending_tokens.clear();
+        node.flushing_token = None;
+    }
+
     fn boot_node(&mut self, id: ServerId) {
+        let now_ms = self.node_now_ms(id);
         let node = self.nodes.get_mut(&id).expect("known node");
         let rec = node.storage.recover().expect("mem storage recovers");
         let vote =
             Vote { peer_epoch: rec.current_epoch, last_zxid: rec.history.last_zxid(), leader: id };
-        let now_ms = self.now_us / 1_000;
         let (election, acts) = Election::new(id, self.election_cfg.clone(), vote, now_ms);
         node.election = Some(election);
         let incarnation = node.incarnation;
@@ -549,6 +655,18 @@ impl Sim {
             self.stats.messages_dropped += 1;
             return;
         }
+        // Random in-flight loss, independent of topology. The draw only
+        // happens with loss enabled so loss-free seeds are unperturbed.
+        // Zab assumes reliable FIFO channels (TCP): a segment loss that
+        // exhausts retransmission kills the connection, so a dropped
+        // message here is modeled as a connection reset — otherwise a
+        // follower could silently miss a proposal yet keep the session,
+        // stalling behind a gap forever.
+        if self.message_loss > 0.0 && self.rng.gen_bool(self.message_loss) {
+            self.stats.messages_dropped += 1;
+            self.cut_link(from, to);
+            return;
+        }
         let size = Self::wire_size(&wire);
         let start = self.now_us.max(self.egress_free[&from]);
         let ser_us = match self.cfg.egress_bytes_per_us {
@@ -579,10 +697,12 @@ impl Sim {
         match kind {
             SimEventKind::Tick { node, incarnation } => {
                 let Some(n) = self.nodes.get(&node) else { return };
-                if !n.up || n.incarnation != incarnation {
+                if !n.up || n.faulted || n.incarnation != incarnation {
+                    // A faulted node's ticks stop too: a restart boots a
+                    // fresh incarnation with its own tick stream.
                     return;
                 }
-                let now_ms = self.now_us / 1_000;
+                let now_ms = self.node_now_ms(node);
                 self.feed(node, LocalInput::Election(ElectionInput::Tick { now_ms }));
                 self.feed(node, LocalInput::Zab(Input::Tick { now_ms }));
                 self.schedule(self.cfg.tick_interval_us, SimEventKind::Tick { node, incarnation });
@@ -605,10 +725,17 @@ impl Sim {
             }
             SimEventKind::FlushDone { node, incarnation } => {
                 let Some(n) = self.nodes.get_mut(&node) else { return };
-                if !n.up || n.incarnation != incarnation {
+                if !n.up || n.faulted || n.incarnation != incarnation {
                     return;
                 }
-                n.storage.flush().expect("mem storage flush");
+                if let Err(e) = n.storage.flush() {
+                    // fsync returned EIO: the write-back cache state is
+                    // unknowable, so the node fail-stops (no ack is sent
+                    // for the covered token).
+                    assert_io_fault(&e);
+                    self.storage_fault(node);
+                    return;
+                }
                 self.stats.flushes += 1;
                 let token = n.flushing_token.take().expect("flush was in flight");
                 // Start the next group flush if writes accumulated.
@@ -648,7 +775,7 @@ impl Sim {
         inbox.push_back((id, input));
         while let Some((nid, li)) = inbox.pop_front() {
             let Some(node) = self.nodes.get_mut(&nid) else { continue };
-            if !node.up {
+            if !node.up || node.faulted {
                 continue;
             }
             match li {
@@ -687,6 +814,7 @@ impl Sim {
                     self.send(id, to, Wire::Election(notification));
                 }
                 ElectionAction::Decided { leader } => {
+                    let now_ms = self.node_now_ms(id);
                     let node = self.nodes.get_mut(&id).expect("known node");
                     let rec = node.storage.recover().expect("mem storage recovers");
                     // After a crash the application restarts from the
@@ -697,7 +825,6 @@ impl Sim {
                         node.app.install(&snap);
                     }
                     let applied_to = node.app.last_zxid();
-                    let now_ms = self.now_us / 1_000;
                     let (zab, acts) = Zab::from_election(
                         id,
                         leader,
@@ -724,7 +851,15 @@ impl Sim {
                 Action::Send { to, msg } => self.send(id, to, Wire::Zab(msg)),
                 Action::Persist { token, req } => {
                     let node = self.nodes.get_mut(&id).expect("known node");
-                    node.storage.apply(&req).expect("simulated storage accepts");
+                    if let Err(e) = node.storage.apply(&req) {
+                        // The write failed before anything mutated: the
+                        // node fail-stops, dropping its remaining actions
+                        // (they were predicated on the persist).
+                        assert_io_fault(&e);
+                        self.storage_fault(id);
+                        return;
+                    }
+                    let node = self.nodes.get_mut(&id).expect("known node");
                     if node.flushing_token.is_none() {
                         node.flushing_token = Some(token);
                         let incarnation = node.incarnation;
@@ -745,7 +880,11 @@ impl Sim {
                             node.delivered_since_compact = 0;
                             let snapshot = Bytes::from(node.app.snapshot());
                             let through = node.app.last_zxid();
-                            node.storage.compact(snapshot, through).expect("mem storage compacts");
+                            if let Err(e) = node.storage.compact(snapshot, through) {
+                                assert_io_fault(&e);
+                                self.storage_fault(id);
+                                return;
+                            }
                             inbox.push_back((id, LocalInput::Zab(Input::Compact { through })));
                         }
                     }
@@ -762,10 +901,10 @@ impl Sim {
                     inbox.push_back((id, LocalInput::Zab(Input::SnapshotReady { snapshot, zxid })));
                 }
                 Action::GoToElection { .. } => {
+                    let now_ms = self.node_now_ms(id);
                     let node = self.nodes.get_mut(&id).expect("known node");
                     node.zab = None;
                     let rec = node.storage.recover().expect("mem storage recovers");
-                    let now_ms = self.now_us / 1_000;
                     let el = node.election.as_mut().expect("election exists");
                     let acts = el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
                     self.stats.elections_started += 1;

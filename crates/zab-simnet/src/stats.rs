@@ -69,6 +69,8 @@ pub struct SimStats {
     pub establishments: u64,
     /// Client request rejections observed.
     pub rejections: u64,
+    /// Nodes fail-stopped by an injected storage error.
+    pub storage_faults: u64,
 }
 
 impl SimStats {

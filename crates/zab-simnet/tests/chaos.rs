@@ -1,0 +1,153 @@
+//! Chaos-engine acceptance tests: a seeded sweep holds every safety
+//! invariant, failures (and passes) replay byte-identically from the
+//! seed, and a node fail-stopped by an injected disk fault leaves the
+//! remaining majority committing.
+
+use zab_log::FaultOp;
+use zab_simnet::chaos::{self, ChaosConfig};
+use zab_simnet::SimBuilder;
+
+/// The acceptance sweep: ≥ 64 seeds with crashes, restarts, partitions,
+/// message drops, clock skew, and disk faults all enabled, the full
+/// PO-atomic-broadcast checker after every step, and heal-and-converge at
+/// the end of every run.
+#[test]
+fn sweep_64_seeds_holds_all_invariants() {
+    let cfg = ChaosConfig::default();
+    let reports = chaos::sweep(0, 64, &cfg).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(reports.len(), 64);
+    // The sweep must actually exercise the fault space, not dodge it.
+    let ops: u64 = reports.iter().map(|r| r.ops_completed).sum();
+    let faults: u64 = reports.iter().map(|r| r.storage_faults).sum();
+    let dropped: u64 = reports.iter().map(|r| r.messages_dropped).sum();
+    assert!(ops > 10_000, "sweep barely committed anything: {ops} ops");
+    assert!(faults > 0, "no injected storage fault ever fired");
+    assert!(dropped > 0, "no message was ever dropped");
+}
+
+/// A run replays byte-identically from its seed: same schedule, same
+/// message counts, same fault firings, same end time.
+#[test]
+fn runs_replay_byte_identically() {
+    let cfg = ChaosConfig::default();
+    for seed in [7, 28, 61] {
+        assert_eq!(chaos::generate(seed, &cfg), chaos::generate(seed, &cfg));
+        let a = chaos::run(seed, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        let b = chaos::run(seed, &cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(a, b, "seed {seed} did not replay identically");
+    }
+}
+
+/// Different seeds explore different schedules (the generator is not
+/// collapsing the space).
+#[test]
+fn seeds_diversify_schedules() {
+    let cfg = ChaosConfig::default();
+    let schedules: Vec<_> = (0..16).map(|s| chaos::generate(s, &cfg)).collect();
+    for (i, a) in schedules.iter().enumerate() {
+        for b in &schedules[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+/// An injected disk fault fail-stops exactly the victim: it counts as a
+/// storage fault, stops participating, but the remaining majority keeps
+/// electing and committing.
+#[test]
+fn majority_keeps_committing_past_storage_fault() {
+    let mut sim = SimBuilder::new(3).seed(11).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(5_000_000).expect("initial leader");
+    sim.submit(leader, b"before".to_vec());
+    sim.run_for(500_000);
+
+    // Fail the *leader's* next flush: the strongest degradation case —
+    // it must step down (fail-stop) and the two survivors re-elect.
+    sim.arm_disk_fault(leader, FaultOp::Flush);
+    sim.submit(leader, b"trigger".to_vec());
+    sim.run_for(2_000_000);
+
+    assert!(sim.is_faulted(leader), "injected flush error did not fail-stop the leader");
+    assert_eq!(sim.stats().storage_faults, 1);
+    let new_leader = sim.leader().expect("survivors re-elect");
+    assert_ne!(new_leader, leader);
+
+    // The remaining majority keeps committing.
+    let before = sim.applied_log(new_leader).len();
+    sim.submit(new_leader, b"after-fault".to_vec());
+    sim.run_for(1_000_000);
+    assert!(sim.applied_log(new_leader).len() > before, "majority stopped committing");
+    sim.check_invariants().unwrap();
+
+    // The faulted node still serves (stale) reads from its applied state.
+    assert!(!sim.applied_log(leader).is_empty());
+
+    // Operator intervention: crash + restart clears the fault and the
+    // node rejoins and catches up.
+    sim.clear_disk_faults(leader);
+    sim.crash(leader);
+    sim.restart(leader);
+    sim.run_for(3_000_000);
+    assert!(!sim.is_faulted(leader));
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}
+
+/// A follower hitting an append fault halts acking without disturbing
+/// the leader's majority.
+#[test]
+fn follower_append_fault_is_invisible_to_the_majority() {
+    let mut sim = SimBuilder::new(3).seed(5).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(5_000_000).expect("initial leader");
+    let follower = sim.members().into_iter().find(|&id| id != leader).expect("a follower");
+
+    sim.arm_disk_fault(follower, FaultOp::Append);
+    for i in 0..10u8 {
+        sim.submit(leader, vec![i; 8]);
+    }
+    sim.run_for(2_000_000);
+
+    assert!(sim.is_faulted(follower));
+    assert_eq!(sim.leader(), Some(leader), "leader should be undisturbed");
+    assert_eq!(sim.applied_log(leader).len(), 10, "majority must commit everything");
+    sim.check_invariants().unwrap();
+}
+
+/// Message loss is a connection reset, not a silent gap: even under
+/// sustained loss the cluster recovers once loss stops, with no follower
+/// stranded behind a missing proposal.
+#[test]
+fn message_loss_never_strands_a_follower() {
+    let mut sim = SimBuilder::new(3).seed(9).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(5_000_000).expect("initial leader");
+    sim.set_message_loss(0.10);
+    for i in 0..50u8 {
+        sim.submit(leader, vec![i; 8]);
+        sim.run_for(50_000);
+    }
+    sim.set_message_loss(0.0);
+    sim.run_for(3_000_000);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+}
+
+/// Clock skew alone (no other faults) cannot break safety or liveness:
+/// skewed clocks may force elections, but the cluster keeps committing.
+#[test]
+fn clock_skew_preserves_safety() {
+    let mut sim = SimBuilder::new(3).seed(13).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(5_000_000).expect("initial leader");
+    let members = sim.members();
+    sim.set_clock_skew_ms(members[0], 400);
+    sim.set_clock_skew_ms(members[1], -150);
+    sim.submit(leader, b"skewed".to_vec());
+    sim.run_for(3_000_000);
+    sim.clear_clock_skews();
+    sim.run_for(2_000_000);
+    let l = sim.leader().expect("a leader under cleared skew");
+    let before = sim.applied_log(l).len();
+    sim.submit(l, b"post-skew".to_vec());
+    sim.run_for(1_000_000);
+    assert!(sim.applied_log(l).len() > before);
+    sim.check_invariants().unwrap();
+}

@@ -15,8 +15,13 @@
 //!   and queued unsent messages are *dropped* — the protocol automata
 //!   treat a channel break as fatal to the session and resynchronize, so
 //!   delivering stale traffic on a fresh connection would be wrong,
-//! - outgoing connections retry with a fixed backoff, so a rebooted peer
-//!   is re-reachable without any management plumbing.
+//! - outgoing connections retry with **capped exponential backoff plus
+//!   deterministic jitter** (seeded from the `(me, peer)` pair, so retry
+//!   timing replays in tests and peers don't thundering-herd a rebooted
+//!   node), and every failed dial surfaces as
+//!   [`TransportEvent::ConnectFailed`] rather than vanishing,
+//! - inbound readers block on the socket (no timeout polling); teardown
+//!   shuts the sockets down explicitly to unblock them.
 //!
 //! The transport is deliberately thread-per-connection over `std::net`:
 //! ensembles are small (3–13 servers), so clarity beats an async runtime
@@ -27,11 +32,11 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::{self, IoSlice, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use zab_core::{Message, ServerId};
 use zab_election::Notification;
 use zab_wire::frame::{frame_header, FrameDecoder, HEADER_LEN};
@@ -92,6 +97,16 @@ pub enum TransportEvent {
         /// The peer.
         peer: ServerId,
     },
+    /// An outgoing dial to `peer` failed; the sender is backing off.
+    /// Surfaced so operators see unreachable peers instead of silence.
+    ConnectFailed {
+        /// The peer.
+        peer: ServerId,
+        /// Consecutive failures so far (0 = first).
+        attempt: u32,
+        /// The dial error.
+        error: String,
+    },
 }
 
 /// Commands to a per-peer sender thread. Payloads are refcounted so a
@@ -113,7 +128,13 @@ pub struct Transport {
     stop: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     local_addr: SocketAddr,
+    /// Clones of live inbound sockets, keyed by connection id. Readers
+    /// block on these; `Drop` shuts them down to unblock the threads.
+    inbound: ConnRegistry,
 }
+
+/// Registry of live inbound connections (see [`Transport::inbound`]).
+type ConnRegistry = Arc<Mutex<BTreeMap<u64, TcpStream>>>;
 
 impl Transport {
     /// Binds `listen` and spawns the accept loop plus one sender thread per
@@ -136,11 +157,13 @@ impl Transport {
         let mut senders = BTreeMap::new();
 
         // Accept loop: reads inbound FIFO channels.
+        let inbound: ConnRegistry = Arc::new(Mutex::new(BTreeMap::new()));
         {
             let events_tx = events_tx.clone();
             let stop = Arc::clone(&stop);
+            let inbound = Arc::clone(&inbound);
             threads.push(thread::spawn(move || {
-                accept_loop(listener, events_tx, stop);
+                accept_loop(listener, events_tx, stop, inbound);
             }));
         }
 
@@ -158,7 +181,15 @@ impl Transport {
             }));
         }
 
-        Ok(Transport { id, senders, events_rx, stop, threads: Mutex::new(threads), local_addr })
+        Ok(Transport {
+            id,
+            senders,
+            events_rx,
+            stop,
+            threads: Mutex::new(threads),
+            local_addr,
+            inbound,
+        })
     }
 
     /// This endpoint's server id.
@@ -199,6 +230,10 @@ impl Transport {
 impl Drop for Transport {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Unblock readers parked in blocking reads.
+        for conn in self.inbound.lock().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
         for tx in self.senders.values() {
             let _ = tx.send(SendCmd::Stop);
         }
@@ -208,17 +243,89 @@ impl Drop for Transport {
     }
 }
 
-const RETRY_DELAY: Duration = Duration::from_millis(50);
+/// First reconnect delay after a dial failure.
+const CONNECT_BASE_DELAY_MS: u64 = 10;
+/// Backoff ceiling.
+const CONNECT_MAX_DELAY_MS: u64 = 1_000;
+/// How often an idle sender thread re-checks the stop flag.
+const IDLE_CHECK: Duration = Duration::from_millis(100);
+/// Accept-loop poll cadence (one thread per process).
 const POLL_DELAY: Duration = Duration::from_millis(5);
 
-fn accept_loop(listener: TcpListener, events_tx: Sender<TransportEvent>, stop: Arc<AtomicBool>) {
+/// Capped exponential backoff with *deterministic* jitter: delays grow
+/// `base·2^attempt` up to the cap, each drawn uniformly from
+/// `[d/2, d]` by a splitmix64 stream seeded from the `(me, peer)` pair.
+/// Jitter decorrelates peers re-dialing a rebooted node (no thundering
+/// herd) while staying replayable: the same pair always produces the
+/// same delay sequence.
+#[derive(Debug)]
+struct Backoff {
+    state: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    fn new(me: ServerId, peer: ServerId) -> Backoff {
+        Backoff {
+            state: me.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ peer.0.rotate_left(32)
+                ^ 0xA076_1D64_78BD_642F,
+            attempt: 0,
+        }
+    }
+
+    fn splitmix(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Consecutive failures so far.
+    fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Delay before the next dial; advances the attempt counter.
+    fn next_delay(&mut self) -> Duration {
+        let exp = CONNECT_BASE_DELAY_MS << self.attempt.min(16);
+        let capped = exp.min(CONNECT_MAX_DELAY_MS);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = capped / 2;
+        let jitter = self.splitmix() % (capped - half + 1);
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Back to the base delay (called on successful connect).
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    events_tx: Sender<TransportEvent>,
+    stop: Arc<AtomicBool>,
+    inbound: ConnRegistry,
+) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn_id = 0u64;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    inbound.lock().insert(conn_id, clone);
+                }
                 let events_tx = events_tx.clone();
+                let inbound = Arc::clone(&inbound);
                 let stop = Arc::clone(&stop);
-                readers.push(thread::spawn(move || reader_loop(stream, events_tx, stop)));
+                readers.push(thread::spawn(move || {
+                    reader_loop(stream, events_tx, stop);
+                    inbound.lock().remove(&conn_id);
+                }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(POLL_DELAY);
@@ -231,15 +338,14 @@ fn accept_loop(listener: TcpListener, events_tx: Sender<TransportEvent>, stop: A
     }
 }
 
-/// Reads one inbound connection: handshake, then frames.
+/// Reads one inbound connection: handshake, then frames. Reads block —
+/// no timeout polling; [`Transport`]'s `Drop` shuts the socket down to
+/// unblock this thread at teardown.
 fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: Arc<AtomicBool>) {
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .expect("socket supports read timeouts");
     let _ = stream.set_nodelay(true);
     // Handshake: 8-byte peer id.
     let mut hs = [0u8; 8];
-    if read_exact_with_stop(&mut stream, &mut hs, &stop).is_err() {
+    if stream.read_exact(&mut hs).is_err() {
         return;
     }
     let peer = ServerId(u64::from_le_bytes(hs));
@@ -250,7 +356,7 @@ fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: A
             return;
         }
         match stream.read(&mut buf) {
-            Ok(0) => break, // EOF: peer closed.
+            Ok(0) => break, // EOF: peer closed (or teardown shutdown).
             Ok(n) => {
                 decoder.extend(&buf[..n]);
                 loop {
@@ -269,46 +375,11 @@ fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: A
                     }
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
     }
     let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
-}
-
-fn read_exact_with_stop(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if stop.load(Ordering::SeqCst) {
-            return Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "stopping"));
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "eof during handshake",
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
 }
 
 /// Maintains the outgoing connection to one peer.
@@ -321,8 +392,20 @@ fn sender_loop(
     stop: Arc<AtomicBool>,
 ) {
     let mut conn: Option<TcpStream> = None;
+    let mut backoff = Backoff::new(me, peer);
+    let mut next_attempt = Instant::now();
     loop {
-        let cmd = match rx.recv_timeout(RETRY_DELAY) {
+        // While disconnected, wake exactly when the backoff allows the
+        // next dial; while connected, just re-check the stop flag
+        // occasionally (commands interrupt the wait either way).
+        let wait = if conn.is_some() {
+            IDLE_CHECK
+        } else {
+            next_attempt
+                .saturating_duration_since(Instant::now())
+                .clamp(Duration::from_millis(1), IDLE_CHECK)
+        };
+        let cmd = match rx.recv_timeout(wait) {
             Ok(cmd) => Some(cmd),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
@@ -330,29 +413,40 @@ fn sender_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match cmd {
-            Some(SendCmd::Stop) => return,
-            Some(SendCmd::Msg(payload)) => {
-                if conn.is_none() {
-                    conn = try_connect(me, addr);
-                    if conn.is_none() {
-                        // Unreachable: drop the message (the protocol will
-                        // resynchronize when the peer returns).
-                        continue;
-                    }
+        if matches!(cmd, Some(SendCmd::Stop)) {
+            return;
+        }
+        // (Re)dial when the backoff window has elapsed — also while idle,
+        // so the first real send doesn't pay the dial latency.
+        if conn.is_none() && Instant::now() >= next_attempt {
+            match try_connect(me, addr) {
+                Ok(stream) => {
+                    conn = Some(stream);
+                    backoff.reset();
                 }
-                let stream = conn.as_mut().expect("just ensured");
-                if write_frame(stream, &payload).is_err() {
-                    conn = None;
-                    let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
+                Err(e) => {
+                    let attempt = backoff.attempt();
+                    next_attempt = Instant::now() + backoff.next_delay();
+                    let _ = events_tx.send(TransportEvent::ConnectFailed {
+                        peer,
+                        attempt,
+                        error: e.to_string(),
+                    });
                 }
             }
-            None => {
-                // Idle: opportunistically (re)connect so the first real
-                // send doesn't pay the dial latency.
-                if conn.is_none() {
-                    conn = try_connect(me, addr);
-                }
+        }
+        if let Some(SendCmd::Msg(payload)) = cmd {
+            let Some(stream) = conn.as_mut() else {
+                // Unreachable (dial failed or backoff pending): drop the
+                // message; the protocol resynchronizes when the peer
+                // returns.
+                continue;
+            };
+            if write_frame(stream, &payload).is_err() {
+                conn = None;
+                // One immediate re-dial on a broken write, then backoff.
+                next_attempt = Instant::now();
+                let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
             }
         }
     }
@@ -381,12 +475,11 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-fn try_connect(me: ServerId, addr: SocketAddr) -> Option<TcpStream> {
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(200)).ok()?;
+fn try_connect(me: ServerId, addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(200))?;
     let _ = stream.set_nodelay(true);
-    let mut stream = stream;
-    stream.write_all(&me.0.to_le_bytes()).ok()?;
-    Some(stream)
+    stream.write_all(&me.0.to_le_bytes())?;
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -414,6 +507,67 @@ mod tests {
             .iter()
             .map(|&(id, addr)| Transport::start(id, addr, book.clone()).expect("start"))
             .collect()
+    }
+
+    #[test]
+    fn backoff_grows_to_cap_with_bounded_jitter() {
+        let mut b = Backoff::new(ServerId(1), ServerId(2));
+        let mut prev_floor = 0;
+        for attempt in 0..20u32 {
+            assert_eq!(b.attempt(), attempt);
+            let exp = (CONNECT_BASE_DELAY_MS << attempt.min(16)).min(CONNECT_MAX_DELAY_MS);
+            let d = b.next_delay().as_millis() as u64;
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d}ms outside [{}, {exp}]",
+                exp / 2
+            );
+            assert!(exp / 2 >= prev_floor, "backoff floor regressed");
+            prev_floor = exp / 2;
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert!(b.next_delay() <= Duration::from_millis(CONNECT_BASE_DELAY_MS));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_pair_and_differs_across_pairs() {
+        let seq = |me, peer| {
+            let mut b = Backoff::new(ServerId(me), ServerId(peer));
+            (0..10).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(1, 2), seq(1, 2), "same pair must replay identically");
+        assert_ne!(seq(1, 2), seq(2, 1), "distinct pairs should decorrelate");
+        assert_ne!(seq(1, 2), seq(1, 3), "distinct pairs should decorrelate");
+    }
+
+    #[test]
+    fn dial_failures_surface_as_connect_failed_events() {
+        // Peer 2's address is reserved but nothing listens on it.
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a1 = l1.local_addr().expect("addr");
+        drop(l1);
+        let l2 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a2 = l2.local_addr().expect("addr");
+        drop(l2);
+        let book: BTreeMap<ServerId, SocketAddr> =
+            [(ServerId(1), a1), (ServerId(2), a2)].into_iter().collect();
+        let t = Transport::start(ServerId(1), a1, book).expect("start");
+        t.send(ServerId(2), TransportMsg::Zab(Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+
+        let mut attempts = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while attempts.len() < 3 && Instant::now() < deadline {
+            if let Some(TransportEvent::ConnectFailed { peer, attempt, error }) =
+                wait_msg(&t, Duration::from_millis(300))
+            {
+                assert_eq!(peer, ServerId(2));
+                assert!(!error.is_empty());
+                attempts.push(attempt);
+            }
+        }
+        // Consecutive failures are counted, proving the backoff advances.
+        assert_eq!(attempts, vec![0, 1, 2], "expected escalating attempt counts");
     }
 
     #[test]
