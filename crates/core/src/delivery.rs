@@ -7,6 +7,7 @@
 
 use crate::events::Action;
 use crate::history::History;
+use crate::metrics::CoreMetrics;
 use crate::types::Zxid;
 
 /// Emits `Deliver` actions for every committed-but-undelivered transaction,
@@ -14,8 +15,15 @@ use crate::types::Zxid;
 ///
 /// Delivery is exactly-once per automaton incarnation: the watermark only
 /// moves forward, and a transaction is emitted only when the committed
-/// watermark has reached it.
-pub fn deliver_committed(history: &History, delivered_to: &mut Zxid, out: &mut Vec<Action>) {
+/// watermark has reached it. Each delivery bumps
+/// `metrics.proposals_committed`, the counter the e2e and chaos tests
+/// compare across replicas.
+pub fn deliver_committed(
+    history: &History,
+    delivered_to: &mut Zxid,
+    metrics: &CoreMetrics,
+    out: &mut Vec<Action>,
+) {
     let target = history.last_committed();
     if *delivered_to >= target {
         return;
@@ -31,6 +39,7 @@ pub fn deliver_committed(history: &History, delivered_to: &mut Zxid, out: &mut V
             delivered_to
         );
         out.push(Action::Deliver { txn: txn.clone() });
+        metrics.proposals_committed.inc();
         *delivered_to = txn.zxid;
     }
 }
@@ -63,7 +72,7 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 3));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &mut out);
+        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
         assert_eq!(delivered(&out), (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>());
         assert_eq!(watermark, Zxid::new(Epoch(1), 3));
     }
@@ -74,9 +83,9 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 2));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &mut out);
+        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
         out.clear();
-        deliver_committed(&h, &mut watermark, &mut out);
+        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
         assert!(out.is_empty());
     }
 
@@ -86,10 +95,10 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 2));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &mut out);
+        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
         h.mark_committed(Zxid::new(Epoch(1), 4));
         out.clear();
-        deliver_committed(&h, &mut watermark, &mut out);
+        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
         assert_eq!(delivered(&out), vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]);
     }
 }

@@ -21,6 +21,7 @@ use crate::delivery::deliver_committed;
 use crate::events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 use crate::history::History;
 use crate::messages::Message;
+use crate::metrics::CoreMetrics;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
 use std::collections::BTreeMap;
 
@@ -77,6 +78,9 @@ pub struct Follower {
     last_leader_contact_ms: u64,
     next_token: u64,
     pending: BTreeMap<PersistToken, Pending>,
+    /// Instrument bundle (standalone by default; see
+    /// [`Follower::set_metrics`]).
+    metrics: CoreMetrics,
 }
 
 impl Follower {
@@ -111,6 +115,7 @@ impl Follower {
             last_leader_contact_ms: now_ms,
             next_token: 0,
             pending: BTreeMap::new(),
+            metrics: CoreMetrics::standalone(),
         };
         let actions = vec![Action::Send {
             to: leader,
@@ -125,6 +130,13 @@ impl Follower {
     /// This follower's server id.
     pub fn id(&self) -> ServerId {
         self.id
+    }
+
+    /// Injects the instrument bundle this automaton records into,
+    /// replacing the default standalone instruments. Call right after
+    /// construction, before driving inputs.
+    pub fn set_metrics(&mut self, metrics: CoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// The leader this incarnation follows.
@@ -239,7 +251,12 @@ impl Follower {
                     let capped = last_committed.min(self.history.last_zxid());
                     if capped > self.history.last_committed() {
                         self.history.mark_committed(capped);
-                        deliver_committed(&self.history, &mut self.delivered_to, out);
+                        deliver_committed(
+                            &self.history,
+                            &mut self.delivered_to,
+                            &self.metrics,
+                            out,
+                        );
                     }
                 }
                 out.push(Action::Send {
@@ -414,7 +431,7 @@ impl Follower {
             self.history.mark_committed(capped);
         }
         self.phase = Phase::Broadcasting;
-        deliver_committed(&self.history, &mut self.delivered_to, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
         out.push(Action::Activated { epoch: self.current_epoch });
     }
 
@@ -448,7 +465,7 @@ impl Follower {
         }
         if zxid > self.history.last_committed() {
             self.history.mark_committed(zxid);
-            deliver_committed(&self.history, &mut self.delivered_to, out);
+            deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
         }
     }
 
@@ -483,6 +500,7 @@ impl Follower {
             }
         }
         if let Some(zxid) = best_proposal {
+            self.metrics.acks_sent.inc();
             out.push(Action::Send { to: self.leader, msg: Message::Ack { zxid } });
         }
     }

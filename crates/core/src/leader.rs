@@ -30,6 +30,7 @@ use crate::delivery::deliver_committed;
 use crate::events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 use crate::history::{History, SyncPlan};
 use crate::messages::Message;
+use crate::metrics::CoreMetrics;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -135,6 +136,12 @@ pub struct Leader {
     last_ping_ms: u64,
     next_token: u64,
     pending: BTreeMap<PersistToken, Pending>,
+    /// Instrument bundle (standalone by default; see [`Leader::set_metrics`]).
+    metrics: CoreMetrics,
+    /// Propose time (driver ms) per in-flight own-epoch proposal, for the
+    /// quorum-ack latency histogram. Bounded by the outstanding window and
+    /// discarded with the incarnation.
+    propose_times: BTreeMap<Zxid, u64>,
 }
 
 impl Leader {
@@ -180,6 +187,8 @@ impl Leader {
             last_ping_ms: now_ms,
             next_token: 0,
             pending: BTreeMap::new(),
+            metrics: CoreMetrics::standalone(),
+            propose_times: BTreeMap::new(),
         };
         let mut out = Vec::new();
         l.info_votes.insert(id, l.accepted_epoch);
@@ -190,6 +199,13 @@ impl Leader {
     /// This leader's server id.
     pub fn id(&self) -> ServerId {
         self.id
+    }
+
+    /// Injects the instrument bundle this automaton records into,
+    /// replacing the default standalone instruments. Call right after
+    /// construction, before driving inputs.
+    pub fn set_metrics(&mut self, metrics: CoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// The epoch this leader is establishing or has established.
@@ -624,7 +640,7 @@ impl Leader {
         if initial_end > self.history.last_committed() {
             self.history.mark_committed(initial_end);
         }
-        deliver_committed(&self.history, &mut self.delivered_to, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
         out.push(Action::Activated { epoch: self.epoch });
         let acked: Vec<ServerId> = self
             .peers
@@ -687,10 +703,13 @@ impl Leader {
             let txn = Txn { zxid, data };
             self.history.append(txn.clone());
             self.outstanding += 1;
+            self.metrics.proposals_proposed.inc();
+            self.propose_times.insert(zxid, self.now_ms);
             let token = self.token(Pending::SelfAck(zxid));
             out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn.clone()]) });
             self.broadcast(Message::Propose { txn }, out);
         }
+        self.metrics.outstanding_depth.set(self.outstanding as i64);
     }
 
     /// Sends to active peers; queues for syncing peers (FIFO per peer).
@@ -707,6 +726,7 @@ impl Leader {
     }
 
     fn on_ack(&mut self, from: ServerId, zxid: Zxid, out: &mut Vec<Action>) {
+        self.metrics.acks_received.inc();
         if zxid > self.history.last_zxid() {
             self.abdicate("ack beyond proposed history", out);
             return;
@@ -799,11 +819,15 @@ impl Leader {
             if txn.zxid.epoch() == self.epoch {
                 self.outstanding -= 1;
             }
+            if let Some(proposed_ms) = self.propose_times.remove(&txn.zxid) {
+                self.metrics.quorum_ack_latency_ms.record(self.now_ms.saturating_sub(proposed_ms));
+            }
             out.push(Action::Committed { zxid: txn.zxid });
         }
+        self.metrics.outstanding_depth.set(self.outstanding as i64);
         self.history.mark_committed(z);
         self.broadcast(Message::Commit { zxid: z }, out);
-        deliver_committed(&self.history, &mut self.delivered_to, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
         self.pump_proposals(out);
     }
 }
@@ -927,6 +951,29 @@ mod tests {
         assert!(matches!(sends_to(&a3, F2)[0], Message::Commit { zxid: z } if *z == zxid));
         assert_eq!(l.outstanding(), 0);
         assert_eq!(l.last_committed(), zxid);
+    }
+
+    #[test]
+    fn metrics_track_propose_ack_commit_cycle() {
+        let reg = zab_metrics::Registry::new();
+        let mut l = established_leader();
+        l.set_metrics(CoreMetrics::registered(&reg));
+        // Advance the driver clock, then propose; the quorum ack lands
+        // 40ms later so the latency histogram must record exactly 40.
+        let _ = l.handle(Input::Tick { now_ms: 100 });
+        let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
+        let zxid = Zxid::new(Epoch(1), 1);
+        assert_eq!(reg.snapshot().counter("core.proposals_proposed"), 1);
+        assert_eq!(reg.snapshot().gauge("core.outstanding_depth"), 1);
+        let _ = complete_persists(&mut l, &a);
+        let _ = l.handle(Input::Tick { now_ms: 140 });
+        let _ = l.handle(msg(F2, Message::Ack { zxid }));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core.acks_received"), 1);
+        assert_eq!(snap.counter("core.proposals_committed"), 1);
+        assert_eq!(snap.gauge("core.outstanding_depth"), 0);
+        let lat = snap.histogram("core.quorum_ack_latency_ms").cloned().unwrap_or_default();
+        assert_eq!((lat.count, lat.sum, lat.max), (1, 40, 40));
     }
 
     #[test]

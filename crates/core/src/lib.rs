@@ -60,6 +60,7 @@ pub mod follower;
 pub mod history;
 pub mod leader;
 pub mod messages;
+pub mod metrics;
 pub mod types;
 
 pub use config::{ClusterConfig, MajorityQuorum, QuorumSystem, WeightedQuorum};
@@ -68,6 +69,7 @@ pub use follower::{Follower, FollowerStatus};
 pub use history::{History, SyncPlan};
 pub use leader::{Leader, LeaderStatus};
 pub use messages::Message;
+pub use metrics::CoreMetrics;
 pub use types::{Epoch, ServerId, Txn, Zxid};
 
 /// The role a process plays after an election, wrapping the corresponding
@@ -107,6 +109,16 @@ impl Zab {
         match self {
             Zab::Leader(l) => l.handle(input),
             Zab::Follower(f) => f.handle(input),
+        }
+    }
+
+    /// Injects the instrument bundle the automaton records into (replacing
+    /// the default standalone instruments). Call right after construction,
+    /// before driving inputs.
+    pub fn set_metrics(&mut self, metrics: CoreMetrics) {
+        match self {
+            Zab::Leader(l) => l.set_metrics(metrics),
+            Zab::Follower(f) => f.set_metrics(metrics),
         }
     }
 

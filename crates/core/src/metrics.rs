@@ -1,0 +1,72 @@
+//! Protocol-layer metrics (DESIGN.md §9).
+//!
+//! [`CoreMetrics`] bundles the instruments both automata record into. A
+//! standalone (unregistered) bundle is the default so the sans-io automata
+//! stay dependency-light for tests; drivers that want the numbers surfaced
+//! call [`CoreMetrics::registered`] against their [`zab_metrics::Registry`]
+//! and inject it with `set_metrics`.
+//!
+//! The paper's evaluation quantities map directly:
+//! - `core.proposals_proposed` / `core.proposals_committed`: broadcast
+//!   throughput numerators.
+//! - `core.quorum_ack_latency_ms`: propose → quorum-ack time (virtual ms
+//!   in the simulator, wall ms on a real node).
+//! - `core.outstanding_depth`: the "multiple outstanding transactions"
+//!   knob, observed live.
+
+use std::sync::Arc;
+use zab_metrics::{Counter, Gauge, Histogram, Registry};
+
+/// Instrument bundle recorded by [`crate::Leader`] and [`crate::Follower`].
+#[derive(Debug, Clone)]
+pub struct CoreMetrics {
+    /// Proposals this leader incarnation has assigned zxids to.
+    pub proposals_proposed: Arc<Counter>,
+    /// ACK messages received from peers (leader side).
+    pub acks_received: Arc<Counter>,
+    /// Cumulative ACK messages sent to the leader (follower side).
+    pub acks_sent: Arc<Counter>,
+    /// Committed transactions delivered to the application. Every replica
+    /// delivers the same committed stream, so this counter must agree
+    /// across a healthy ensemble — the e2e and chaos tests assert exactly
+    /// that.
+    pub proposals_committed: Arc<Counter>,
+    /// Propose → quorum-ack latency, in driver-clock milliseconds.
+    pub quorum_ack_latency_ms: Arc<Histogram>,
+    /// Proposals in flight (proposed, not yet committed).
+    pub outstanding_depth: Arc<Gauge>,
+}
+
+impl CoreMetrics {
+    /// Fresh instruments not attached to any registry: recording works,
+    /// nothing is exported. The automata default to this.
+    pub fn standalone() -> CoreMetrics {
+        CoreMetrics {
+            proposals_proposed: Arc::new(Counter::default()),
+            acks_received: Arc::new(Counter::default()),
+            acks_sent: Arc::new(Counter::default()),
+            proposals_committed: Arc::new(Counter::default()),
+            quorum_ack_latency_ms: Arc::new(Histogram::default()),
+            outstanding_depth: Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Instruments registered under the `core.` namespace of `reg`, so
+    /// they appear in the registry's snapshots and JSON dumps.
+    pub fn registered(reg: &Registry) -> CoreMetrics {
+        CoreMetrics {
+            proposals_proposed: reg.counter("core.proposals_proposed"),
+            acks_received: reg.counter("core.acks_received"),
+            acks_sent: reg.counter("core.acks_sent"),
+            proposals_committed: reg.counter("core.proposals_committed"),
+            quorum_ack_latency_ms: reg.histogram("core.quorum_ack_latency_ms"),
+            outstanding_depth: reg.gauge("core.outstanding_depth"),
+        }
+    }
+}
+
+impl Default for CoreMetrics {
+    fn default() -> CoreMetrics {
+        CoreMetrics::standalone()
+    }
+}

@@ -226,14 +226,63 @@ mod tests {
     }
 
     #[test]
-    fn split_path_cases() {
+    fn split_path_accepts_well_formed_paths() {
         assert_eq!(split_path("/a").unwrap(), ("/", "a"));
         assert_eq!(split_path("/a/b/c").unwrap(), ("/a/b", "c"));
-        assert!(split_path("a").is_err());
-        assert!(split_path("/").is_err());
-        assert!(split_path("/a/").is_err());
-        assert!(split_path("/a//b").is_err());
-        assert!(split_path("").is_err());
+        // Single-character and multi-byte segment names are ordinary.
+        assert_eq!(split_path("/x/y").unwrap(), ("/x", "y"));
+        assert_eq!(split_path("/héllo/wörld").unwrap(), ("/héllo", "wörld"));
+        // Deep nesting: the parent is everything up to the last slash.
+        assert_eq!(split_path("/a/b/c/d/e/f").unwrap(), ("/a/b/c/d/e", "f"));
+    }
+
+    #[test]
+    fn split_path_rejections_carry_the_offending_path() {
+        // The error pins the contract: BadPath always embeds the exact
+        // input, so callers can report it verbatim.
+        let bad = |p: &str| assert_eq!(split_path(p), Err(KvError::BadPath(p.to_string())), "{p}");
+        bad(""); // empty
+        bad("/"); // the root has no parent/leaf split
+        bad("a"); // missing leading slash
+        bad("a/b"); // relative path
+        bad("/a/"); // trailing slash
+        bad("/a/b/"); // trailing slash, nested
+        bad("//"); // empty leading segment with trailing slash
+        bad("//a"); // empty leading segment
+        bad("/a//b"); // empty middle segment
+        bad("/a/b//"); // empty + trailing
+    }
+
+    #[test]
+    fn split_path_rfind_invariant_holds_for_all_accepted_inputs() {
+        // `split_path` unwraps `path.rfind('/')` (tree.rs): every path
+        // that survives validation must contain a '/', and rejoining
+        // parent + leaf must reproduce the input. Sweep a generated
+        // corpus to pin that invariant.
+        let segs = ["a", "bb", "ccc"];
+        for s1 in segs {
+            let p1 = format!("/{s1}");
+            let (parent, leaf) = split_path(&p1).expect("depth-1 path accepted");
+            assert_eq!(parent, "/");
+            assert_eq!(format!("/{leaf}"), p1);
+            for s2 in segs {
+                let p2 = format!("/{s1}/{s2}");
+                let (parent, leaf) = split_path(&p2).expect("depth-2 path accepted");
+                assert_eq!(format!("{parent}/{leaf}"), p2);
+                assert_eq!(parent, p1, "parent of {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_paths_surface_through_apply() {
+        // The validation error propagates untouched through delta
+        // application — a malformed create can never mutate the tree.
+        let mut t = DataTree::new();
+        let before = t.clone();
+        assert_eq!(t.apply(&create("relative", 1)), Err(KvError::BadPath("relative".to_string())));
+        assert_eq!(t.apply(&create("/a/", 1)), Err(KvError::BadPath("/a/".to_string())));
+        assert_eq!(t, before, "failed create mutated the tree");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! hot path and honor the flush boundary so drivers can group-commit.
 
 use crate::fault::{check_fault, FaultOp, FaultPlan};
+use crate::metrics::LogMetrics;
 use crate::record::{
     decode_epochs, decode_snapshot, encode_epochs, encode_log_record, encode_snapshot,
     log_record_len, log_record_prefix, scan_log, RECORD_PREFIX_LEN,
@@ -54,6 +55,12 @@ pub struct FileStorage {
     dirty: bool,
     /// Injected-fault schedule, if any (see [`crate::fault`]).
     faults: Option<FaultPlan>,
+    /// Instrument bundle (standalone by default; see
+    /// [`Storage::set_metrics`]).
+    metrics: LogMetrics,
+    /// Torn tails discarded during [`FileStorage::open`], latched so the
+    /// count reaches whatever bundle is injected afterwards.
+    recovery_truncations: u64,
 }
 
 impl FileStorage {
@@ -100,6 +107,7 @@ impl FileStorage {
             // recovery refuses and leaves the file for forensics.
             return Err(StorageError::MidFileCorrupt { offset: scan.valid_len });
         }
+        let recovery_truncations = u64::from(scan.torn_tail);
         if scan.torn_tail {
             // Discard the torn tail, as ZooKeeper does on recovery.
             log.set_len(scan.valid_len)?;
@@ -135,6 +143,8 @@ impl FileStorage {
             snapshot,
             dirty: false,
             faults: None,
+            metrics: LogMetrics::standalone(),
+            recovery_truncations,
         })
     }
 
@@ -158,6 +168,11 @@ impl FileStorage {
     /// Number of records currently in the log file.
     pub fn log_records(&self) -> usize {
         self.index.len()
+    }
+
+    /// Fault check that accounts fired faults in the metrics bundle.
+    fn check(&mut self, op: FaultOp) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, op).inspect_err(|_| self.metrics.injected_faults.inc())
     }
 
     fn write_epochs(&mut self) -> Result<(), StorageError> {
@@ -258,19 +273,19 @@ fn sync_dir(dir: &Path) -> Result<(), StorageError> {
 
 impl Storage for FileStorage {
     fn set_accepted_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
+        self.check(FaultOp::EpochWrite)?;
         self.accepted_epoch = epoch;
         self.write_epochs()
     }
 
     fn set_current_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
+        self.check(FaultOp::EpochWrite)?;
         self.current_epoch = epoch;
         self.write_epochs()
     }
 
     fn append_txns(&mut self, txns: &[Txn]) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Append)?;
+        self.check(FaultOp::Append)?;
         if txns.is_empty() {
             return Ok(());
         }
@@ -287,6 +302,7 @@ impl Storage for FileStorage {
         // Group commit without concatenation: the whole batch goes down as
         // one vectored write chaining [prefix, payload] per record, so the
         // refcounted payloads are never copied into a staging buffer.
+        let start_us = self.metrics.clock.now_micros();
         let prefixes: Vec<[u8; RECORD_PREFIX_LEN]> = txns.iter().map(log_record_prefix).collect();
         let mut bufs: Vec<&[u8]> = Vec::with_capacity(txns.len() * 2);
         for (prefix, txn) in prefixes.iter().zip(txns) {
@@ -300,11 +316,15 @@ impl Storage for FileStorage {
             self.index.push((txn.zxid, end));
         }
         self.dirty = true;
+        self.metrics.appends.inc();
+        self.metrics
+            .append_latency_us
+            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
         Ok(())
     }
 
     fn truncate(&mut self, to: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Truncate)?;
+        self.check(FaultOp::Truncate)?;
         let keep = self.index.partition_point(|&(z, _)| z <= to);
         let new_len = if keep == 0 { 0 } else { self.index[keep - 1].1 };
         self.index.truncate(keep);
@@ -315,14 +335,14 @@ impl Storage for FileStorage {
     }
 
     fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::SnapshotReplace)?;
+        self.check(FaultOp::SnapshotReplace)?;
         self.snapshot = Some((snapshot, zxid));
         self.write_snapshot_file()?;
         self.rewrite_log(&[])
     }
 
     fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Compact)?;
+        self.check(FaultOp::Compact)?;
         // Collect the suffix beyond the compaction point before rewriting.
         let recovered = self.recover()?;
         let suffix: Vec<Txn> = recovered.history.txns_after(zxid).to_vec();
@@ -332,10 +352,18 @@ impl Storage for FileStorage {
     }
 
     fn flush(&mut self) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Flush)?;
+        self.check(FaultOp::Flush)?;
         if self.dirty {
+            // Span: the fsync is the hot durability barrier group commit
+            // amortizes; its latency distribution is the paper's disk cost.
+            let span = zab_metrics::Span::start(
+                std::sync::Arc::clone(&self.metrics.flush_latency_us),
+                std::sync::Arc::clone(&self.metrics.clock),
+            );
             self.log.sync_data()?;
             self.dirty = false;
+            self.metrics.fsyncs.inc();
+            span.finish();
         }
         Ok(())
     }
@@ -359,6 +387,13 @@ impl Storage for FileStorage {
             history,
             snapshot: self.snapshot.as_ref().map(|(b, _)| b.clone()),
         })
+    }
+
+    fn set_metrics(&mut self, metrics: LogMetrics) {
+        // Torn-tail truncations happened in open(), before any bundle
+        // could be injected; surface them now.
+        metrics.recovery_truncations.add(self.recovery_truncations);
+        self.metrics = metrics;
     }
 }
 
@@ -427,6 +462,33 @@ mod tests {
         let r = s.recover().unwrap();
         assert_eq!(r.history.len(), 2);
         assert_eq!(r.history.last_zxid(), Zxid::new(Epoch(1), 2));
+    }
+
+    #[test]
+    fn torn_tail_truncation_reaches_injected_metrics() {
+        let dir = tempdir();
+        {
+            let mut s = FileStorage::open(&dir).unwrap();
+            s.append_txns(&[txn(1, 1)]).unwrap();
+            s.flush().unwrap();
+        }
+        let mut partial = encode_log_record(&txn(1, 2));
+        partial.truncate(partial.len() / 2);
+        let mut f = OpenOptions::new().append(true).open(dir.join("log")).unwrap();
+        f.write_all(&partial).unwrap();
+        drop(f);
+
+        let reg = zab_metrics::Registry::new();
+        let mut s = FileStorage::open(&dir).unwrap();
+        // The truncation happened in open(); injection latches it.
+        s.set_metrics(LogMetrics::registered(&reg));
+        assert_eq!(reg.snapshot().counter("log.recovery_truncations"), 1);
+        s.append_txns(&[txn(1, 2)]).unwrap();
+        s.flush().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("log.appends"), 1);
+        assert_eq!(snap.counter("log.fsyncs"), 1);
+        assert_eq!(snap.histogram("log.flush_latency_us").map(|h| h.count), Some(1));
     }
 
     #[test]

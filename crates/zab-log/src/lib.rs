@@ -39,6 +39,7 @@
 pub mod fault;
 pub mod file;
 pub mod mem;
+pub mod metrics;
 pub mod record;
 
 use bytes::Bytes;
@@ -49,6 +50,7 @@ use zab_core::{Epoch, History, PersistRequest, PersistentState, Zxid};
 pub use fault::{FaultOp, FaultPlan};
 pub use file::FileStorage;
 pub use mem::MemStorage;
+pub use metrics::LogMetrics;
 
 /// Storage failure.
 #[derive(Debug)]
@@ -187,6 +189,13 @@ pub trait Storage {
     /// Returns [`StorageError::Corrupt`] when validation fails beyond what
     /// torn-tail recovery can repair.
     fn recover(&self) -> Result<Recovered, StorageError>;
+
+    /// Injects the instrument bundle this storage records into (see
+    /// [`LogMetrics`]). Default: ignored, for implementations that do not
+    /// report metrics.
+    fn set_metrics(&mut self, metrics: LogMetrics) {
+        let _ = metrics;
+    }
 
     /// Applies a protocol persist request (convenience for drivers).
     ///

@@ -14,6 +14,7 @@
 //! copy, and crashes are rare events in any schedule.
 
 use crate::fault::{check_fault, FaultOp, FaultPlan};
+use crate::metrics::LogMetrics;
 use crate::{Recovered, Storage, StorageError};
 use bytes::Bytes;
 use zab_core::{Epoch, History, Txn, Zxid};
@@ -90,6 +91,9 @@ pub struct MemStorage {
     flush_count: u64,
     /// Injected-fault schedule, if any (see [`crate::fault`]).
     faults: Option<FaultPlan>,
+    /// Instrument bundle (standalone by default; see
+    /// [`Storage::set_metrics`]).
+    metrics: LogMetrics,
 }
 
 impl MemStorage {
@@ -130,23 +134,29 @@ impl MemStorage {
         self.applied.apply(&op);
         self.journal.push(op);
     }
+
+    /// Fault check that accounts fired faults in the metrics bundle.
+    fn check(&mut self, op: FaultOp) -> Result<(), StorageError> {
+        check_fault(&mut self.faults, op).inspect_err(|_| self.metrics.injected_faults.inc())
+    }
 }
 
 impl Storage for MemStorage {
     fn set_accepted_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
+        self.check(FaultOp::EpochWrite)?;
         self.record(JournalOp::SetAccepted(epoch));
         Ok(())
     }
 
     fn set_current_epoch(&mut self, epoch: Epoch) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::EpochWrite)?;
+        self.check(FaultOp::EpochWrite)?;
         self.record(JournalOp::SetCurrent(epoch));
         Ok(())
     }
 
     fn append_txns(&mut self, txns: &[Txn]) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Append)?;
+        self.check(FaultOp::Append)?;
+        let start_us = self.metrics.clock.now_micros();
         let mut last = self.applied.last_zxid();
         for txn in txns {
             if txn.zxid <= last {
@@ -158,33 +168,42 @@ impl Storage for MemStorage {
             last = txn.zxid;
         }
         self.record(JournalOp::Append(txns.to_vec()));
+        self.metrics.appends.inc();
+        self.metrics
+            .append_latency_us
+            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
         Ok(())
     }
 
     fn truncate(&mut self, to: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Truncate)?;
+        self.check(FaultOp::Truncate)?;
         self.record(JournalOp::Truncate(to));
         Ok(())
     }
 
     fn reset_to_snapshot(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::SnapshotReplace)?;
+        self.check(FaultOp::SnapshotReplace)?;
         self.record(JournalOp::Reset { snapshot, zxid });
         self.flush()
     }
 
     fn compact(&mut self, snapshot: Bytes, zxid: Zxid) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Compact)?;
+        self.check(FaultOp::Compact)?;
         self.record(JournalOp::Compact { snapshot, zxid });
         self.flush()
     }
 
     fn flush(&mut self) -> Result<(), StorageError> {
-        check_fault(&mut self.faults, FaultOp::Flush)?;
+        self.check(FaultOp::Flush)?;
+        let start_us = self.metrics.clock.now_micros();
         for op in self.journal.drain(..) {
             self.durable.apply(&op);
         }
         self.flush_count += 1;
+        self.metrics.fsyncs.inc();
+        self.metrics
+            .flush_latency_us
+            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
         Ok(())
     }
 
@@ -197,6 +216,10 @@ impl Storage for MemStorage {
             history,
             snapshot: img.snapshot.as_ref().map(|(b, _)| b.clone()),
         })
+    }
+
+    fn set_metrics(&mut self, metrics: LogMetrics) {
+        self.metrics = metrics;
     }
 }
 
@@ -339,6 +362,25 @@ mod tests {
         assert_eq!(s.log_len(), 0);
         s.append_txns(&[txn(1, 1)]).unwrap();
         assert_eq!(s.log_len(), 1);
+    }
+
+    #[test]
+    fn metrics_count_appends_flushes_and_injected_faults() {
+        let reg = zab_metrics::Registry::new();
+        let mut s = MemStorage::new();
+        s.set_metrics(LogMetrics::registered(&reg));
+        s.append_txns(&[txn(1, 1)]).unwrap();
+        s.flush().unwrap();
+        let mut plan = FaultPlan::new();
+        plan.arm(FaultOp::Flush);
+        s.set_faults(Some(plan));
+        assert!(s.flush().is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("log.appends"), 1);
+        assert_eq!(snap.counter("log.fsyncs"), 1);
+        assert_eq!(snap.counter("log.injected_faults"), 1);
+        assert_eq!(snap.histogram("log.append_latency_us").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("log.flush_latency_us").map(|h| h.count), Some(1));
     }
 
     #[test]

@@ -1,0 +1,709 @@
+//! Lock-light metrics and structured-tracing primitives for the Zab
+//! reproduction.
+//!
+//! The DSN'11 evaluation is built around measured quantities — throughput
+//! vs. ensemble size, latency vs. offered load, the win from multiple
+//! outstanding transactions — so every layer of this workspace reports
+//! into the same small vocabulary:
+//!
+//! - [`Counter`]: monotone `u64`, one atomic add on the hot path.
+//! - [`Gauge`]: signed instantaneous level (queue depths, window sizes).
+//! - [`Histogram`]: fixed log2-bucket latency/size distribution. Recording
+//!   is three relaxed atomic ops; no allocation, no locking, no floats.
+//! - [`Registry`]: name → instrument table. Registration takes a mutex;
+//!   recorded values never do — callers hold `Arc` handles to the atomics.
+//! - [`Snapshot`]: a point-in-time copy of everything, with a dependency-free
+//!   JSON encoder ([`Snapshot::to_json`]) for dump files and CI artifacts.
+//! - [`Clock`] / [`Span`]: the tracing seam. A [`Span`] is a scoped timer
+//!   that records its lifetime into a histogram on drop, so the hot path
+//!   (request → propose → quorum ack → commit → deliver) reads as nested
+//!   spans while costing two clock reads.
+//!
+//! Deterministic simulations plug in a [`ManualClock`] driven by virtual
+//! time; real nodes use [`WallClock`] (monotonic `Instant`-based). Either
+//! way the histograms are comparable and, crucially, *assertable*: the
+//! chaos harness treats metric convergence across survivors as a
+//! correctness oracle, not just an ops dashboard.
+//!
+//! No external dependencies, consistent with the vendored-offline policy
+//! (DESIGN.md §5): everything here is `std`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing counter.
+///
+/// ```
+/// let c = zab_metrics::Counter::default();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, window size, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets. Bucket `i` (for `i >= 1`) covers values in
+/// `[2^(i-1), 2^i)`; bucket 0 holds exact zeros. 64 buckets cover the
+/// full `u64` range, so no value is ever clamped.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2-scale histogram.
+///
+/// Values land in power-of-two buckets, giving ~2x resolution over the
+/// whole `u64` range with a constant 65-slot footprint. Recording is
+/// wait-free: one `fetch_add` into the bucket, one into `count`, one into
+/// `sum`, plus a CAS loop for `max` (uncontended in practice).
+///
+/// ```
+/// let h = zab_metrics::Histogram::default();
+/// h.record(0);
+/// h.record(1);
+/// h.record(1000);
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.sum, 1001);
+/// assert_eq!(s.max, 1000);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros` (so 1 → 1,
+/// 2..4 → 2..3, etc.).
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (used as the percentile estimate).
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy. Concurrent recorders may land between field
+    /// reads; the snapshot is internally *near*-consistent, which is all a
+    /// monitoring read needs (deterministic tests snapshot quiesced state).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_lower_bound(i), n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen copy of a [`Histogram`]: `(bucket_lower_bound, count)` pairs for
+/// the non-empty buckets, plus totals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 if empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// inclusive upper edge of the first bucket whose cumulative count
+    /// reaches `q * count`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut cum = 0u64;
+        for &(lo, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return bucket_upper_bound(bucket_index(lo)).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, or 0 if absent (an instrument nobody touched is
+    /// indistinguishable from one at zero, by design).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, or 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot, if the histogram exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` (per-peer
+    /// rollups: `transport.bytes_out.` etc.).
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// Serializes the snapshot as a stable, human-diffable JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count", "sum", "max", "mean", "buckets": [[lo, n], ...]}}}`.
+    /// Keys are emitted in sorted (BTreeMap) order so dumps diff cleanly
+    /// across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[",
+                json_string(k),
+                h.count,
+                h.sum,
+                h.max,
+                h.mean()
+            );
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (instrument names are ASCII identifiers,
+/// but escape defensively anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Interior tables of a [`Registry`].
+#[derive(Debug, Default)]
+struct Tables {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A name → instrument table.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a mutex and is
+/// expected at setup time or on rare events (a new peer connecting);
+/// recording through the returned `Arc` handles is lock-free. Naming
+/// convention (see DESIGN.md §9): `layer.metric[_unit][.peer]`, e.g.
+/// `core.quorum_ack_latency_us` or `transport.bytes_out.3`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    tables: Mutex<Tables>,
+}
+
+/// A locked registry table, recovered from poisoning: metrics must never
+/// amplify a panic elsewhere into a second one.
+fn lock_tables(tables: &Mutex<Tables>) -> std::sync::MutexGuard<'_, Tables> {
+    match tables.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut t = lock_tables(&self.tables);
+        match t.counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                t.counters.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut t = lock_tables(&self.tables);
+        match t.gauges.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                t.gauges.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut t = lock_tables(&self.tables);
+        match t.histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                t.histograms.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Copies every instrument into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let t = lock_tables(&self.tables);
+        Snapshot {
+            counters: t.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: t.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: t.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+}
+
+/// The time source metrics timers read. Real nodes use [`WallClock`];
+/// deterministic simulations drive a [`ManualClock`] from virtual time so
+/// latency histograms are exactly reproducible.
+pub trait Clock: Send + Sync {
+    /// Monotonic microseconds since an arbitrary origin.
+    fn now_micros(&self) -> u64;
+
+    /// Monotonic milliseconds since the same origin.
+    fn now_millis(&self) -> u64 {
+        self.now_micros() / 1_000
+    }
+}
+
+/// Monotonic wall clock: microseconds since construction, backed by
+/// [`std::time::Instant`] (never goes backwards, unaffected by NTP steps —
+/// the property `replica.rs` needs when comparing timestamps across an
+/// election restart).
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> WallClock {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        // Saturating: a u64 of microseconds is ~584k years of uptime.
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Manually driven clock for deterministic tests and the simulator.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Sets the absolute time in microseconds.
+    pub fn set_micros(&self, us: u64) {
+        self.0.store(us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.0.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A scoped timer: starts on construction, records elapsed microseconds
+/// into its histogram when dropped (or explicitly via [`Span::finish`]).
+/// This is the tracing primitive — nest spans to trace the
+/// propose→ack→commit→deliver pipeline.
+///
+/// ```
+/// use zab_metrics::{Clock, ManualClock, Registry, Span};
+/// let reg = Registry::new();
+/// let clock = std::sync::Arc::new(ManualClock::new());
+/// {
+///     let _span = Span::start(reg.histogram("demo.latency_us"), clock.clone());
+///     clock.advance_micros(250);
+/// } // drop records 250
+/// assert_eq!(reg.snapshot().histogram("demo.latency_us").unwrap().sum, 250);
+/// ```
+pub struct Span {
+    hist: Arc<Histogram>,
+    clock: Arc<dyn Clock>,
+    start_us: u64,
+    done: bool,
+}
+
+impl Span {
+    /// Starts timing now.
+    pub fn start(hist: Arc<Histogram>, clock: Arc<dyn Clock>) -> Span {
+        let start_us = clock.now_micros();
+        Span { hist, clock, start_us, done: false }
+    }
+
+    /// Stops the timer, records the elapsed microseconds, and returns them.
+    pub fn finish(mut self) -> u64 {
+        self.done = true;
+        let elapsed = self.clock.now_micros().saturating_sub(self.start_us);
+        self.hist.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            let elapsed = self.clock.now_micros().saturating_sub(self.start_us);
+            self.hist.record(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::default();
+        g.set(5);
+        g.add(3);
+        g.sub(10);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Bounds agree with the index mapping at every power of two.
+        for i in 1..64 {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1004);
+        assert_eq!(s.max, 1000);
+        // 0 → bucket 0; 1 → [1,2); 3 → [2,4); 1000 → [512,1024).
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 1), (512, 1)]);
+        assert!((s.mean() - 251.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(10); // bucket [8,16)
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket [2^19, 2^20)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 15);
+        assert_eq!(s.quantile(0.99), s.max);
+        assert_eq!(s.quantile(0.0), 15); // first non-empty bucket
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_instruments() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").inc();
+        reg.gauge("g").set(7);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 2);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), 7);
+        assert_eq!(snap.histogram("h").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn counter_sum_rolls_up_prefix() {
+        let reg = Registry::new();
+        reg.counter("transport.bytes_out.1").add(10);
+        reg.counter("transport.bytes_out.2").add(20);
+        reg.counter("transport.bytes_in.1").add(99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("transport.bytes_out."), 30);
+    }
+
+    #[test]
+    fn json_dump_shape() {
+        let reg = Registry::new();
+        reg.counter("c1").add(3);
+        reg.gauge("g1").set(-4);
+        reg.histogram("h1").record(5);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"c1\":3"));
+        assert!(json.contains("\"g1\":-4"));
+        assert!(json.contains("\"h1\":{\"count\":1,\"sum\":5,\"max\":5"));
+        assert!(json.contains("\"buckets\":[[4,1]]"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn json_escapes_odd_names() {
+        let reg = Registry::new();
+        reg.counter("we\"ird\\name\n").inc();
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"we\\\"ird\\\\name\\n\":1"));
+    }
+
+    #[test]
+    fn manual_clock_and_span() {
+        let clock = Arc::new(ManualClock::new());
+        clock.set_micros(100);
+        assert_eq!(clock.now_micros(), 100);
+        assert_eq!(clock.now_millis(), 0);
+        clock.advance_micros(2_000);
+        assert_eq!(clock.now_millis(), 2);
+
+        let reg = Registry::new();
+        let span = Span::start(reg.histogram("span_us"), clock.clone());
+        clock.advance_micros(500);
+        assert_eq!(span.finish(), 500);
+        // Drop path records too.
+        {
+            let _s = Span::start(reg.histogram("span_us"), clock.clone());
+            clock.advance_micros(7);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("span_us").cloned().unwrap_or_default();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 507);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                let h = reg.histogram("shared_h");
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.record(i);
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("shared"), 4000);
+        assert_eq!(snap.histogram("shared_h").map(|h| h.count), Some(4000));
+    }
+}

@@ -32,7 +32,15 @@ pub trait Application: Send + 'static {
 
     /// Replace committed state with a received snapshot covering up to
     /// `zxid`.
-    fn install(&mut self, snapshot: &[u8], zxid: Zxid);
+    ///
+    /// # Errors
+    ///
+    /// A malformed snapshot (truncated, trailing bytes, failed
+    /// validation) is *reported*, never panicked on: snapshot bytes
+    /// come off the wire or off disk, and a replica must degrade to
+    /// [`crate::Role::Faulted`] rather than crash. On `Err` the
+    /// committed state must be unchanged.
+    fn install(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), String>;
 
     /// Zxid the committed state reflects.
     fn applied_to(&self) -> Zxid;
@@ -84,19 +92,32 @@ impl Application for BytesApp {
         buf
     }
 
-    fn install(&mut self, snapshot: &[u8], zxid: Zxid) {
+    fn install(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), String> {
         let mut log = Vec::new();
         let mut cur = snapshot;
-        let n = u32::from_le_bytes(cur[..4].try_into().expect("header")) as usize;
+        if cur.len() < 4 {
+            return Err(format!("snapshot header truncated: {} bytes", cur.len()));
+        }
+        let n = u32::from_le_bytes(cur[..4].try_into().expect("length checked")) as usize;
         cur = &cur[4..];
-        for _ in 0..n {
-            let z = Zxid(u64::from_le_bytes(cur[..8].try_into().expect("zxid")));
-            let len = u32::from_le_bytes(cur[8..12].try_into().expect("len")) as usize;
+        for i in 0..n {
+            if cur.len() < 12 {
+                return Err(format!("snapshot truncated in entry {i} of {n}"));
+            }
+            let z = Zxid(u64::from_le_bytes(cur[..8].try_into().expect("length checked")));
+            let len = u32::from_le_bytes(cur[8..12].try_into().expect("length checked")) as usize;
+            if cur.len() < 12 + len {
+                return Err(format!("snapshot entry {i} claims {len} bytes, fewer remain"));
+            }
             log.push((z, Bytes::copy_from_slice(&cur[12..12 + len])));
             cur = &cur[12 + len..];
         }
+        if !cur.is_empty() {
+            return Err(format!("snapshot has {} trailing bytes", cur.len()));
+        }
         self.log = log;
         self.applied_to = zxid;
+        Ok(())
     }
 
     fn applied_to(&self) -> Zxid {
@@ -153,13 +174,15 @@ impl Application for KvApp {
         self.committed.snapshot()
     }
 
-    fn install(&mut self, snapshot: &[u8], zxid: Zxid) {
-        self.committed = DataTree::from_snapshot(snapshot).expect("valid snapshot");
+    fn install(&mut self, snapshot: &[u8], zxid: Zxid) -> Result<(), String> {
+        self.committed =
+            DataTree::from_snapshot(snapshot).map_err(|e| format!("bad kv snapshot: {e}"))?;
         self.applied_to = zxid;
         // Speculative state (if any) is now meaningless.
         if self.primary.is_some() {
             self.primary = Some(PrimaryExecutor::new(self.committed.clone()));
         }
+        Ok(())
     }
 
     fn applied_to(&self) -> Zxid {
@@ -187,9 +210,44 @@ mod tests {
         a.apply(&txn(2, b"two".to_vec()));
         let snap = a.snapshot();
         let mut b = BytesApp::new();
-        b.install(&snap, Zxid::new(Epoch(1), 2));
+        b.install(&snap, Zxid::new(Epoch(1), 2)).expect("install");
         assert_eq!(b.log(), a.log());
         assert_eq!(b.applied_to(), Zxid::new(Epoch(1), 2));
+    }
+
+    #[test]
+    fn bytes_app_rejects_malformed_snapshots_without_mutating() {
+        let mut a = BytesApp::new();
+        a.apply(&txn(1, b"keep".to_vec()));
+        let good = a.snapshot();
+        let z = Zxid::new(Epoch(1), 1);
+
+        let mut b = BytesApp::new();
+        b.apply(&txn(7, b"prior".to_vec()));
+        let prior = b.log().to_vec();
+
+        // Truncated header, truncated entry, and trailing garbage must
+        // all error and leave the existing state untouched.
+        assert!(b.install(&good[..3], z).is_err());
+        assert!(b.install(&good[..good.len() - 1], z).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0xEE);
+        assert!(b.install(&trailing, z).is_err());
+        // An entry whose length field overruns the buffer.
+        let mut overrun = good.clone();
+        let len_off = 4 + 8;
+        overrun[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(b.install(&overrun, z).is_err());
+        assert_eq!(b.log(), prior, "failed install mutated state");
+
+        b.install(&good, z).expect("good snapshot still installs");
+        assert_eq!(b.log(), a.log());
+    }
+
+    #[test]
+    fn kv_app_rejects_malformed_snapshots() {
+        let mut a = KvApp::new();
+        assert!(a.install(b"\xFF\xFF\xFF", Zxid::new(Epoch(1), 1)).is_err());
     }
 
     #[test]
@@ -221,7 +279,7 @@ mod tests {
         let d = a.execute(&Op::create("/x", vec![1]).encode()).expect("create");
         a.apply(&txn(1, d));
         let mut b = KvApp::new();
-        b.install(&a.snapshot(), a.applied_to());
+        b.install(&a.snapshot(), a.applied_to()).expect("install");
         assert!(b.tree().exists("/x"));
     }
 

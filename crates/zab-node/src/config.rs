@@ -25,6 +25,12 @@ pub struct NodeConfig {
     /// Compact the log into a snapshot every `k` applied transactions
     /// (ZooKeeper's snapCount); `None` disables compaction.
     pub snapshot_every: Option<u64>,
+    /// Periodically dump a JSON metrics snapshot to this file (written
+    /// via a temp file + rename, so readers never see a torn dump);
+    /// `None` disables dumping.
+    pub metrics_dump_path: Option<PathBuf>,
+    /// Interval between metrics dumps in milliseconds.
+    pub metrics_dump_every_ms: u64,
 }
 
 impl NodeConfig {
@@ -45,6 +51,8 @@ impl NodeConfig {
             data_dir: None,
             tick_ms: 5,
             snapshot_every: None,
+            metrics_dump_path: None,
+            metrics_dump_every_ms: 1000,
         }
     }
 
@@ -57,6 +65,14 @@ impl NodeConfig {
     /// Enables periodic log compaction every `k` applied transactions.
     pub fn with_snapshot_every(mut self, k: u64) -> NodeConfig {
         self.snapshot_every = Some(k);
+        self
+    }
+
+    /// Enables periodic JSON metrics dumps to `path` every `every_ms`
+    /// milliseconds (see [`zab_metrics::Snapshot::to_json`]).
+    pub fn with_metrics_dump(mut self, path: impl Into<PathBuf>, every_ms: u64) -> NodeConfig {
+        self.metrics_dump_path = Some(path.into());
+        self.metrics_dump_every_ms = every_ms.max(1);
         self
     }
 }

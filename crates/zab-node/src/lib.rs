@@ -42,8 +42,10 @@
 
 pub mod apps;
 pub mod config;
+pub mod metrics;
 pub mod replica;
 
 pub use apps::{Application, BytesApp, KvApp};
 pub use config::NodeConfig;
+pub use metrics::NodeMetrics;
 pub use replica::{NodeEvent, Replica, Role};

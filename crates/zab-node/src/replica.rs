@@ -2,15 +2,20 @@
 
 use crate::apps::Application;
 use crate::config::NodeConfig;
+use crate::metrics::NodeMetrics;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use zab_core::{Action, Epoch, Input, PersistRequest, PersistToken, ServerId, Txn, Zab, Zxid};
+use zab_core::{
+    Action, CoreMetrics, Epoch, Input, PersistRequest, PersistToken, ServerId, Txn, Zab, Zxid,
+};
 use zab_election::{Election, ElectionAction, ElectionInput, Vote};
-use zab_log::{FileStorage, MemStorage, Storage};
+use zab_log::{FileStorage, LogMetrics, MemStorage, Storage};
+use zab_metrics::{Clock, Registry, Snapshot, WallClock};
 use zab_transport::{Transport, TransportEvent, TransportMsg};
 
 /// The replica's current protocol role.
@@ -104,6 +109,7 @@ pub struct Replica<A: Application> {
     events_rx: Receiver<NodeEvent>,
     role: Arc<Mutex<Role>>,
     app: Arc<Mutex<A>>,
+    metrics: Arc<Registry>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -132,11 +138,17 @@ impl<A: Application> Replica<A> {
     pub fn start_with_storage(
         cfg: NodeConfig,
         app: A,
-        storage: Box<dyn Storage + Send>,
+        mut storage: Box<dyn Storage + Send>,
     ) -> Result<Replica<A>, Box<dyn std::error::Error>> {
         let id = cfg.id;
         let listen = cfg.peers[&id];
-        let transport = Transport::start(id, listen, cfg.peers.clone())?;
+        // One registry per replica: every layer (core automata, storage,
+        // transport, the event loop itself) reports into it, and
+        // [`Replica::metrics_snapshot`] reads it back out.
+        let metrics = Arc::new(Registry::new());
+        storage.set_metrics(LogMetrics::registered(&metrics));
+        let transport =
+            Transport::start_with_metrics(id, listen, cfg.peers.clone(), Arc::clone(&metrics))?;
         let storage = Arc::new(Mutex::new(storage));
 
         let (commands_tx, commands_rx) = unbounded();
@@ -219,8 +231,14 @@ impl<A: Application> Replica<A> {
             role: Arc::clone(&role),
             was_primary: false,
             faulted: false,
-            start: std::time::Instant::now(),
+            clock: Arc::new(WallClock::new()),
             applied_since_compact: 0,
+            registry: Arc::clone(&metrics),
+            core_metrics: CoreMetrics::registered(&metrics),
+            node_metrics: NodeMetrics::registered(&metrics),
+            election_started_ms: None,
+            pending_commit_ms: VecDeque::new(),
+            last_dump_ms: 0,
         };
         let loop_thread = std::thread::spawn(move || loop_state.run());
 
@@ -230,6 +248,7 @@ impl<A: Application> Replica<A> {
             events_rx,
             role,
             app,
+            metrics,
             threads: vec![disk_thread, loop_thread],
         })
     }
@@ -260,6 +279,17 @@ impl<A: Application> Replica<A> {
     /// reads from a KV tree).
     pub fn with_app<R>(&self, f: impl FnOnce(&A) -> R) -> R {
         f(&self.app.lock())
+    }
+
+    /// The metrics registry every layer of this replica reports into.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of all of this replica's metrics
+    /// (`core.*`, `log.*`, `transport.*`, `node.*`).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
     }
 
     /// Stops all threads.
@@ -296,13 +326,25 @@ struct EventLoop<A: Application> {
     was_primary: bool,
     /// Fail-stopped after a storage error (see [`Role::Faulted`]).
     faulted: bool,
-    start: std::time::Instant,
+    /// The one monotonic clock every timestamp in this loop comes from.
+    /// Its origin predates the first election, so values compare
+    /// correctly across election restarts and role changes.
+    clock: Arc<dyn Clock>,
     applied_since_compact: u64,
+    registry: Arc<Registry>,
+    core_metrics: CoreMetrics,
+    node_metrics: NodeMetrics,
+    /// When the current election round started (None while decided).
+    election_started_ms: Option<u64>,
+    /// Submit timestamps of broadcast-but-undelivered client requests
+    /// (primary only; FIFO because commit order is submission order).
+    pending_commit_ms: VecDeque<u64>,
+    last_dump_ms: u64,
 }
 
 impl<A: Application> EventLoop<A> {
     fn now_ms(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
+        self.clock.now_millis()
     }
 
     fn run(mut self) {
@@ -336,6 +378,7 @@ impl<A: Application> EventLoop<A> {
                         self.feed_zab(Input::PeerDisconnected { peer });
                     }
                     Ok(TransportEvent::ConnectFailed { peer, attempt, error }) => {
+                        self.node_metrics.peer_unreachable.inc();
                         let _ = self.events_tx.send(NodeEvent::PeerUnreachable {
                             peer,
                             attempt,
@@ -348,6 +391,7 @@ impl<A: Application> EventLoop<A> {
                     let now_ms = self.now_ms();
                     self.feed_election(ElectionInput::Tick { now_ms });
                     self.feed_zab(Input::Tick { now_ms });
+                    self.maybe_dump_metrics(now_ms);
                 }
             }
             self.publish_role();
@@ -365,7 +409,24 @@ impl<A: Application> EventLoop<A> {
         self.faulted = true;
         self.zab = None;
         self.election = None;
+        self.node_metrics.storage_faults.inc();
         let _ = self.events_tx.send(NodeEvent::StorageFault { context, error });
+    }
+
+    /// Best-effort periodic metrics dump: a torn or failed write must
+    /// never hurt the replica, so errors are swallowed and the file is
+    /// replaced atomically via a temp-file rename.
+    fn maybe_dump_metrics(&mut self, now_ms: u64) {
+        let Some(path) = self.cfg.metrics_dump_path.as_ref() else { return };
+        if now_ms < self.last_dump_ms.saturating_add(self.cfg.metrics_dump_every_ms) {
+            return;
+        }
+        self.last_dump_ms = now_ms;
+        let json = self.registry.snapshot().to_json();
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
     }
 
     fn begin_election(&mut self) {
@@ -379,21 +440,37 @@ impl<A: Application> EventLoop<A> {
             }
         };
         // Restore the application from the durable snapshot if it is
-        // behind the log's compaction point.
-        {
+        // behind the log's compaction point. A missing or malformed
+        // snapshot is a storage fault, not a panic: the replica
+        // fail-stops and the rest of the ensemble carries on.
+        let install_error: Option<String> = {
             let mut app = self.app.lock();
             if app.applied_to() < rec.history.base() {
-                let snap = rec.snapshot.clone().expect("base > 0 implies snapshot");
-                app.install(&snap, rec.history.base());
+                match rec.snapshot.clone() {
+                    None => Some(format!(
+                        "log starts at {:?} but no snapshot is stored",
+                        rec.history.base()
+                    )),
+                    Some(snap) => app.install(&snap, rec.history.base()).err(),
+                }
+            } else {
+                None
             }
+        };
+        if let Some(e) = install_error {
+            self.node_metrics.snapshot_install_failures.inc();
+            self.enter_faulted("install snapshot".to_string(), e);
+            self.publish_role();
+            return;
         }
         let vote = Vote {
             peer_epoch: rec.current_epoch,
             last_zxid: rec.history.last_zxid(),
             leader: self.id,
         };
-        let (election, acts) =
-            Election::new(self.id, self.cfg.election.clone(), vote, self.now_ms());
+        let now_ms = self.now_ms();
+        self.election_started_ms = Some(now_ms);
+        let (election, acts) = Election::new(self.id, self.cfg.election.clone(), vote, now_ms);
         self.election = Some(election);
         self.route_election(acts);
     }
@@ -419,15 +496,22 @@ impl<A: Application> EventLoop<A> {
                             return;
                         }
                     };
+                    let now_ms = self.now_ms();
+                    if let Some(started) = self.election_started_ms.take() {
+                        self.node_metrics
+                            .election_duration_ms
+                            .record(now_ms.saturating_sub(started));
+                    }
                     let applied_to = self.app.lock().applied_to();
-                    let (zab, acts) = Zab::from_election(
+                    let (mut zab, acts) = Zab::from_election(
                         self.id,
                         leader,
                         self.cfg.cluster.clone(),
                         rec.into_persistent_state(),
                         applied_to,
-                        self.now_ms(),
+                        now_ms,
                     );
+                    zab.set_metrics(self.core_metrics.clone());
                     self.zab = Some(zab);
                     self.route_zab(acts);
                 }
@@ -450,6 +534,19 @@ impl<A: Application> EventLoop<A> {
                 }
                 Action::Deliver { txn } => {
                     self.app.lock().apply(&txn);
+                    // On the primary the delivery order is the submission
+                    // order, so the oldest pending submit timestamp is
+                    // this transaction's start-of-life.
+                    if self.was_primary {
+                        if let Some(submitted_ms) = self.pending_commit_ms.pop_front() {
+                            self.node_metrics
+                                .commit_latency_ms
+                                .record(self.now_ms().saturating_sub(submitted_ms));
+                            self.node_metrics
+                                .commit_inflight
+                                .set(self.pending_commit_ms.len() as i64);
+                        }
+                    }
                     let _ = self.events_tx.send(NodeEvent::Delivered(txn));
                     self.applied_since_compact += 1;
                     if let Some(every) = self.cfg.snapshot_every {
@@ -460,7 +557,12 @@ impl<A: Application> EventLoop<A> {
                     }
                 }
                 Action::InstallSnapshot { snapshot, zxid } => {
-                    self.app.lock().install(&snapshot, zxid);
+                    let installed = self.app.lock().install(&snapshot, zxid);
+                    if let Err(e) = installed {
+                        self.node_metrics.snapshot_install_failures.inc();
+                        self.enter_faulted("install snapshot".to_string(), e);
+                        return;
+                    }
                 }
                 Action::TakeSnapshot => {
                     let (snapshot, zxid) = {
@@ -480,6 +582,7 @@ impl<A: Application> EventLoop<A> {
                         }
                     };
                     let now_ms = self.now_ms();
+                    self.election_started_ms = Some(now_ms);
                     let el = self.election.as_mut().expect("election exists");
                     let acts = el.restart(rec.current_epoch, rec.history.last_zxid(), now_ms);
                     self.route_election(acts);
@@ -517,7 +620,11 @@ impl<A: Application> EventLoop<A> {
         }
         let executed = self.app.lock().execute(&request);
         match executed {
-            Ok(delta) => self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) }),
+            Ok(delta) => {
+                self.pending_commit_ms.push_back(self.now_ms());
+                self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
+                self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) });
+            }
             Err(reason) => {
                 let _ = self
                     .events_tx
@@ -547,11 +654,18 @@ impl<A: Application> EventLoop<A> {
         let is_primary = matches!(role, Role::Leading { established: true, .. });
         if is_primary != self.was_primary {
             self.was_primary = is_primary;
+            // Losing the primary role abandons in-flight submissions:
+            // their latency samples would straddle two incarnations.
+            if !is_primary {
+                self.pending_commit_ms.clear();
+                self.node_metrics.commit_inflight.set(0);
+            }
             self.app.lock().on_role_change(is_primary);
         }
         let mut cur = self.role.lock();
         if *cur != role {
             *cur = role;
+            self.node_metrics.role_transitions.inc();
             let _ = self.events_tx.send(NodeEvent::RoleChanged(role));
         }
     }

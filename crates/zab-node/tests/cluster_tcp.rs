@@ -80,6 +80,84 @@ fn three_replicas_elect_broadcast_deliver() {
 }
 
 #[test]
+fn metrics_agree_across_replicas_and_time_the_commit_path() {
+    let dump_dir = std::env::temp_dir().join(format!("zab-node-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    std::fs::create_dir_all(&dump_dir).expect("mkdir");
+    let book = address_book(3);
+    let replicas: BTreeMap<ServerId, Replica<BytesApp>> = book
+        .keys()
+        .map(|&id| {
+            let cfg = NodeConfig::new(id, book.clone())
+                .with_metrics_dump(dump_dir.join(format!("n{}.json", id.0)), 50);
+            (id, Replica::start(cfg, BytesApp::new()).expect("start"))
+        })
+        .collect();
+
+    let leader = wait_for_leader(&replicas, Duration::from_secs(10)).expect("leader");
+    const N: u64 = 10;
+    for i in 0..N as u32 {
+        replicas[&leader].submit(i.to_le_bytes().to_vec());
+    }
+    for (&id, r) in &replicas {
+        assert_eq!(
+            drain_deliveries(r, N as usize, Duration::from_secs(10)).len(),
+            N as usize,
+            "replica {id}"
+        );
+    }
+
+    // Every replica counted the same committed stream, and each layer
+    // of the leader observed the commit path.
+    let snaps: BTreeMap<ServerId, zab_metrics::Snapshot> =
+        replicas.iter().map(|(&id, r)| (id, r.metrics_snapshot())).collect();
+    for (id, s) in &snaps {
+        assert_eq!(s.counter("core.proposals_committed"), N, "replica {id} count diverges");
+    }
+    let ls = &snaps[&leader];
+    assert_eq!(ls.counter("core.proposals_proposed"), N);
+    // Acks are cumulative (one covers a persisted batch), so the count
+    // is at least 1 but may be well under N.
+    assert!(ls.counter("core.acks_received") >= 1, "leader saw no acks");
+    let quorum = ls.histogram("core.quorum_ack_latency_ms").expect("quorum histogram");
+    assert_eq!(quorum.count, N, "every proposal should have a quorum-latency sample");
+    let commit = ls.histogram("node.commit_latency_ms").expect("commit histogram");
+    assert_eq!(commit.count, N, "every submit should have an end-to-end sample");
+    assert_eq!(ls.gauge("node.commit_inflight"), 0, "inflight not drained");
+    assert!(ls.counter("log.appends") >= N, "leader appended each proposal");
+    assert!(ls.counter("log.fsyncs") >= 1, "group commit flushed at least once");
+    assert!(ls.counter_sum("transport.frames_out.") >= N, "leader broadcast frames");
+    assert!(ls.counter("node.role_transitions") >= 1);
+    assert!(ls.histogram("node.election_duration_ms").is_some_and(|h| h.count >= 1));
+    // Quorum = leader self-ack + at least one follower, so across the
+    // followers some acks must have been sent. (A follower that joined
+    // late may have received the txns via SyncDiff and never acked a
+    // Propose, so no per-follower assertion.)
+    let follower_acks: u64 = snaps
+        .iter()
+        .filter(|(&id, _)| id != leader)
+        .map(|(_, s)| s.counter("core.acks_sent"))
+        .sum();
+    assert!(follower_acks >= 1, "no follower ever acked a proposal");
+
+    // The periodic JSON dump landed and looks like a snapshot dump.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let dump_path = dump_dir.join(format!("n{}.json", leader.0));
+    loop {
+        if let Ok(json) = std::fs::read_to_string(&dump_path) {
+            if json.contains("\"core.proposals_committed\"") {
+                assert!(json.starts_with("{\"counters\":{"), "unexpected dump shape");
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "metrics dump never appeared at {dump_path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(replicas);
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+#[test]
 fn submit_to_follower_is_rejected() {
     let book = address_book(3);
     let replicas: BTreeMap<ServerId, Replica<BytesApp>> = book

@@ -92,6 +92,52 @@ fn leader_of(replicas: &BTreeMap<ServerId, Replica<BytesApp>>) -> Option<ServerI
 }
 
 #[test]
+fn malformed_durable_snapshot_faults_the_replica_instead_of_panicking() {
+    // Storage whose durable snapshot is garbage with a non-zero base:
+    // boot must install it, fail, and degrade to Role::Faulted — the
+    // process stays alive and the fault is counted, never a panic.
+    let book = address_book(1);
+    let mut storage = Box::new(MemStorage::new());
+    storage
+        .reset_to_snapshot(bytes::Bytes::from_static(b"\x09\x00\x00\x00trunc"), zab_core::Zxid(7))
+        .expect("seed bad snapshot");
+    let cfg = NodeConfig::new(ServerId(1), book);
+    let replica =
+        Replica::start_with_storage(cfg, BytesApp::new(), storage).expect("boot must not panic");
+
+    let mut saw_fault = false;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !saw_fault && Instant::now() < deadline {
+        if let Ok(NodeEvent::StorageFault { context, .. }) =
+            replica.events().recv_timeout(Duration::from_millis(100))
+        {
+            assert_eq!(context, "install snapshot");
+            saw_fault = true;
+        }
+    }
+    assert!(saw_fault, "no StorageFault from the bad snapshot");
+    assert!(
+        wait_for(Duration::from_secs(5), || replica.role() == Role::Faulted),
+        "replica never entered Role::Faulted"
+    );
+    let snap = replica.metrics_snapshot();
+    assert_eq!(snap.counter("node.snapshot_install_failures"), 1);
+    assert_eq!(snap.counter("node.storage_faults"), 1);
+    // Still alive: the API answers, writes are rejected with a reason.
+    replica.submit(b"rejected".to_vec());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(NodeEvent::Rejected { reason, .. }) =
+            replica.events().recv_timeout(Duration::from_millis(100))
+        {
+            assert_eq!(reason, "StorageFaulted");
+            break;
+        }
+        assert!(Instant::now() < deadline, "faulted replica stopped responding");
+    }
+}
+
+#[test]
 fn faulted_replica_degrades_while_majority_commits() {
     let book = address_book(3);
     let switches: BTreeMap<ServerId, Arc<AtomicBool>> =

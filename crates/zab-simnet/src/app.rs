@@ -5,8 +5,43 @@
 //! sequence, so after any combination of DIFF/TRUNC/SNAP syncs every
 //! node's application state is directly comparable entry-by-entry.
 
+use std::fmt;
 use zab_core::{Txn, Zxid};
 use zab_wire::codec::{WireRead, WireWrite};
+
+/// A snapshot that could not be decoded. Snapshot bytes arrive over a
+/// (simulated) wire or from (simulated) disk, so decoding failures are
+/// node-level faults to degrade on, never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before the promised entries did.
+    Truncated {
+        /// Entries the header promised.
+        expected: usize,
+        /// Entries decoded before the bytes ran out.
+        decoded: usize,
+    },
+    /// Bytes remain after the last promised entry.
+    TrailingBytes {
+        /// How many.
+        excess: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { expected, decoded } => {
+                write!(f, "snapshot truncated: {decoded} of {expected} entries decoded")
+            }
+            SnapshotError::TrailingBytes { excess } => {
+                write!(f, "snapshot has {excess} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// FNV-1a hash of a payload; applied entries store hashes, not payloads,
 /// to keep big simulations cheap.
@@ -89,23 +124,31 @@ impl ReplicatedLog {
         buf
     }
 
-    /// Replaces the state with a received snapshot.
+    /// Replaces the state with a received snapshot. On `Err` the current
+    /// state is unchanged; the caller surfaces the error as a node fault.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a malformed snapshot; the simulator only feeds snapshots
-    /// produced by [`ReplicatedLog::snapshot`].
-    pub fn install(&mut self, snapshot: &[u8]) {
+    /// [`SnapshotError`] when the bytes are truncated or have trailing
+    /// garbage.
+    pub fn install(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
         let mut cur = snapshot;
-        let n = cur.get_u32_le_wire().expect("snapshot header") as usize;
-        let mut entries = Vec::with_capacity(n);
-        for _ in 0..n {
-            let zxid = Zxid(cur.get_u64_le_wire().expect("snapshot entry"));
-            let hash = cur.get_u64_le_wire().expect("snapshot entry");
+        let n = cur
+            .get_u32_le_wire()
+            .map_err(|_| SnapshotError::Truncated { expected: 0, decoded: 0 })?
+            as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for decoded in 0..n {
+            let truncated = SnapshotError::Truncated { expected: n, decoded };
+            let zxid = Zxid(cur.get_u64_le_wire().map_err(|_| truncated.clone())?);
+            let hash = cur.get_u64_le_wire().map_err(|_| truncated)?;
             entries.push(Applied { zxid, hash });
         }
-        assert!(cur.is_empty(), "snapshot has trailing bytes");
+        if !cur.is_empty() {
+            return Err(SnapshotError::TrailingBytes { excess: cur.len() });
+        }
         self.entries = entries;
+        Ok(())
     }
 }
 
@@ -143,7 +186,7 @@ mod tests {
         }
         let snap = log.snapshot();
         let mut other = ReplicatedLog::new();
-        other.install(&snap);
+        other.install(&snap).expect("well-formed snapshot");
         assert_eq!(other.entries(), log.entries());
     }
 
@@ -151,8 +194,43 @@ mod tests {
     fn empty_snapshot_round_trips() {
         let log = ReplicatedLog::new();
         let mut other = ReplicatedLog::new();
-        other.install(&log.snapshot());
+        other.install(&log.snapshot()).expect("well-formed snapshot");
         assert!(other.is_empty());
+    }
+
+    #[test]
+    fn malformed_snapshots_error_and_leave_state_intact() {
+        let mut log = ReplicatedLog::new();
+        log.apply(&txn(1, b"a"));
+        log.apply(&txn(2, b"b"));
+        let good = log.snapshot();
+
+        let mut victim = ReplicatedLog::new();
+        victim.apply(&txn(9, b"prior"));
+        let prior = victim.entries().to_vec();
+
+        // Truncated header.
+        assert_eq!(
+            victim.install(&good[..3]),
+            Err(SnapshotError::Truncated { expected: 0, decoded: 0 })
+        );
+        // Truncated mid-entry: the second entry's bytes are cut short.
+        assert_eq!(
+            victim.install(&good[..good.len() - 1]),
+            Err(SnapshotError::Truncated { expected: 2, decoded: 1 })
+        );
+        // Trailing garbage after the promised entries.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(b"xx");
+        assert_eq!(victim.install(&trailing), Err(SnapshotError::TrailingBytes { excess: 2 }));
+        // A header promising far more entries than the bytes hold.
+        let mut hungry = good.clone();
+        hungry[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(victim.install(&hungry), Err(SnapshotError::Truncated { .. })));
+
+        assert_eq!(victim.entries(), prior, "failed install mutated state");
+        victim.install(&good).expect("good snapshot still installs");
+        assert_eq!(victim.entries(), log.entries());
     }
 
     #[test]

@@ -5,26 +5,72 @@
 //! ```
 //!
 //! Runs `COUNT` (default 64) chaos schedules starting at `START_SEED`
-//! (default 0) with the default [`zab_simnet::ChaosConfig`]. On the first
-//! failure it prints the replayable `(seed, schedule)` report, writes it
-//! to `chaos-failure.txt` (or `$CHAOS_ARTIFACT` if set) for CI artifact
-//! upload, and exits nonzero.
+//! (default 0) with the default [`zab_simnet::ChaosConfig`] — including
+//! the post-convergence metrics cross-check. On the first failure it
+//! prints the replayable `(seed, schedule)` report, writes it to
+//! `chaos-failure.txt` (or `$CHAOS_ARTIFACT` if set) for CI artifact
+//! upload, and exits nonzero. On success it writes an aggregate metrics
+//! summary as JSON to `chaos-metrics.json` (or `$CHAOS_METRICS`).
+//!
+//! Malformed arguments print usage and exit with status 2; they never
+//! panic.
 
-use zab_simnet::chaos::{self, ChaosConfig};
+use zab_simnet::chaos::{self, ChaosConfig, ChaosReport};
+
+fn usage(reason: &str) -> ! {
+    eprintln!("error: {reason}");
+    eprintln!("usage: chaos_search [START_SEED] [COUNT]");
+    eprintln!("  START_SEED  first seed to run (u64, default 0)");
+    eprintln!("  COUNT       number of seeds to run (u64, default 64)");
+    std::process::exit(2);
+}
+
+fn parse_arg(arg: Option<String>, name: &str, default: u64) -> u64 {
+    match arg {
+        None => default,
+        Some(a) => match a.parse() {
+            Ok(v) => v,
+            Err(_) => usage(&format!("{name} must be a u64, got {a:?}")),
+        },
+    }
+}
+
+/// Aggregate sweep metrics as a small flat JSON object (every value is a
+/// plain integer or float — no escaping needed).
+fn metrics_json(reports: &[ChaosReport]) -> String {
+    let ops: u64 = reports.iter().map(|r| r.ops_completed).sum();
+    let faults: u64 = reports.iter().map(|r| r.storage_faults).sum();
+    let msgs: u64 = reports.iter().map(|r| r.messages_delivered).sum();
+    let dropped: u64 = reports.iter().map(|r| r.messages_dropped).sum();
+    let elections: u64 = reports.iter().map(|r| r.elections_started).sum();
+    let virt_us: u64 = reports.iter().map(|r| r.end_us).sum();
+    format!(
+        "{{\"runs\":{},\"ops_completed\":{ops},\"messages_delivered\":{msgs},\
+         \"messages_dropped\":{dropped},\"elections_started\":{elections},\
+         \"storage_faults\":{faults},\"virtual_seconds\":{:.3}}}",
+        reports.len(),
+        virt_us as f64 / 1_000_000.0,
+    )
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let start: u64 = args.next().map_or(0, |a| a.parse().expect("START_SEED must be a u64"));
-    let count: u64 = args.next().map_or(64, |a| a.parse().expect("COUNT must be a u64"));
+    let start = parse_arg(args.next(), "START_SEED", 0);
+    let count = parse_arg(args.next(), "COUNT", 64);
+    if let Some(extra) = args.next() {
+        usage(&format!("unexpected argument {extra:?}"));
+    }
     let cfg = ChaosConfig::default();
 
     println!(
-        "chaos sweep: seeds {start}..{} ({} nodes, {} steps/run, disk faults {}, clock skew {})",
-        start + count,
+        "chaos sweep: seeds {start}..{} ({} nodes, {} steps/run, disk faults {}, clock skew {}, \
+         metrics checks {})",
+        start.saturating_add(count),
         cfg.nodes,
         cfg.steps,
         if cfg.disk_faults { "on" } else { "off" },
         if cfg.clock_skew { "on" } else { "off" },
+        if cfg.check_metrics { "on" } else { "off" },
     );
 
     match chaos::sweep(start, count, &cfg) {
@@ -41,6 +87,12 @@ fn main() {
                  {faults} injected storage fail-stops",
                 reports.len(),
             );
+            let path =
+                std::env::var("CHAOS_METRICS").unwrap_or_else(|_| "chaos-metrics.json".to_string());
+            match std::fs::write(&path, metrics_json(&reports)) {
+                Ok(()) => println!("metrics summary written to {path}"),
+                Err(e) => eprintln!("could not write metrics summary {path}: {e}"),
+            }
         }
         Err(failure) => {
             let report = failure.to_string();

@@ -129,6 +129,9 @@ pub struct ChaosConfig {
     pub clients: usize,
     /// Payload bytes per client operation.
     pub payload_size: usize,
+    /// After convergence, cross-check each survivor's metrics registry
+    /// against the checker's ground truth (see [`run_schedule`]).
+    pub check_metrics: bool,
 }
 
 impl Default for ChaosConfig {
@@ -143,6 +146,7 @@ impl Default for ChaosConfig {
             max_loss_permille: 150,
             clients: 4,
             payload_size: 16,
+            check_metrics: true,
         }
     }
 }
@@ -341,6 +345,49 @@ pub fn run_schedule(
     }
     if let Err(e) = sim.check_converged() {
         return Err(fail(None, format!("healed cluster did not converge: {e}")));
+    }
+
+    // The observability layer must agree with the checker's ground truth:
+    // each survivor's `node.commits_delivered` gauge equals its applied
+    // log length (and therefore converges across survivors), and the
+    // core's in-incarnation commit counter never exceeds total applied
+    // state (restarted nodes re-deliver only a suffix; snapshot installs
+    // bypass Deliver entirely).
+    if cfg.check_metrics {
+        let mut delivered: Vec<(ServerId, i64)> = Vec::new();
+        for id in sim.members() {
+            if !sim.is_up(id) || sim.is_faulted(id) {
+                continue;
+            }
+            let snap = sim.node_metrics(id);
+            let gauge = snap.gauge("node.commits_delivered");
+            let applied = sim.applied_log(id).len() as i64;
+            if gauge != applied {
+                return Err(fail(
+                    None,
+                    format!(
+                        "metrics drift on {id}: node.commits_delivered={gauge} \
+                         but the applied log holds {applied} entries"
+                    ),
+                ));
+            }
+            let committed = snap.counter("core.proposals_committed") as i64;
+            if committed > gauge {
+                return Err(fail(
+                    None,
+                    format!(
+                        "metrics drift on {id}: core.proposals_committed={committed} \
+                         exceeds node.commits_delivered={gauge}"
+                    ),
+                ));
+            }
+            delivered.push((id, gauge));
+        }
+        let mut values: Vec<i64> = delivered.iter().map(|&(_, v)| v).collect();
+        values.dedup();
+        if values.len() > 1 {
+            return Err(fail(None, format!("survivor commit metrics diverge: {delivered:?}")));
+        }
     }
 
     let stats = sim.stats();

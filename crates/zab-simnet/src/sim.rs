@@ -13,9 +13,11 @@ use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
-use zab_core::{Action, ClusterConfig, Input, Message, PersistToken, ServerId, Zab};
+use std::sync::Arc;
+use zab_core::{Action, ClusterConfig, CoreMetrics, Input, Message, PersistToken, ServerId, Zab};
 use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
-use zab_log::{FaultOp, FaultPlan, MemStorage, Storage};
+use zab_log::{FaultOp, FaultPlan, LogMetrics, MemStorage, Storage};
+use zab_metrics::{Gauge, ManualClock, Registry};
 
 /// What travels on a simulated link.
 #[derive(Debug, Clone)]
@@ -84,6 +86,14 @@ struct Node {
     flushing_token: Option<PersistToken>,
     /// Deliveries since the last log compaction.
     delivered_since_compact: u64,
+    /// Per-incarnation metrics registry (replaced on every boot, so
+    /// counters describe the current incarnation only). Latency
+    /// histograms use a [`ManualClock`] pinned at zero — metric values
+    /// stay fully deterministic.
+    metrics: Arc<Registry>,
+    /// Cached `node.commits_delivered` gauge: total applied entries,
+    /// whether delivered by the protocol or installed via snapshot.
+    commits_delivered: Arc<Gauge>,
 }
 
 enum LocalInput {
@@ -232,6 +242,8 @@ impl SimBuilder {
             clock_skew_ms: BTreeMap::new(),
         };
         for &id in &ids {
+            let registry = Arc::new(Registry::new());
+            let commits_delivered = registry.gauge("node.commits_delivered");
             sim.nodes.insert(
                 id,
                 Node {
@@ -245,6 +257,8 @@ impl SimBuilder {
                     pending_tokens: Vec::new(),
                     flushing_token: None,
                     delivered_since_compact: 0,
+                    metrics: registry,
+                    commits_delivered,
                 },
             );
         }
@@ -323,6 +337,13 @@ impl Sim {
     /// The applied log of a node.
     pub fn applied_log(&self, id: ServerId) -> &[crate::app::Applied] {
         self.nodes[&id].app.entries()
+    }
+
+    /// A point-in-time snapshot of a node's metrics registry. The
+    /// registry is rebuilt on every (re)boot, so the figures describe
+    /// the node's current incarnation only.
+    pub fn node_metrics(&self, id: ServerId) -> zab_metrics::Snapshot {
+        self.nodes[&id].metrics.snapshot()
     }
 
     /// Runs until `deadline_us`, or the event queue empties.
@@ -532,6 +553,11 @@ impl Sim {
         self.nodes[&id].faulted
     }
 
+    /// True if `id` is running (not crashed).
+    pub fn is_up(&self, id: ServerId) -> bool {
+        self.nodes[&id].up
+    }
+
     /// Runs the full PO-atomic-broadcast safety checker.
     ///
     /// # Errors
@@ -598,6 +624,13 @@ impl Sim {
     fn boot_node(&mut self, id: ServerId) {
         let now_ms = self.node_now_ms(id);
         let node = self.nodes.get_mut(&id).expect("known node");
+        // Fresh registry per incarnation: counters describe this boot
+        // only, so survivors' figures are comparable after a chaos run.
+        node.metrics = Arc::new(Registry::new());
+        node.commits_delivered = node.metrics.gauge("node.commits_delivered");
+        node.storage.set_metrics(
+            LogMetrics::registered(&node.metrics).with_clock(Arc::new(ManualClock::new())),
+        );
         let rec = node.storage.recover().expect("mem storage recovers");
         let vote =
             Vote { peer_epoch: rec.current_epoch, last_zxid: rec.history.last_zxid(), leader: id };
@@ -819,13 +852,20 @@ impl Sim {
                     let rec = node.storage.recover().expect("mem storage recovers");
                     // After a crash the application restarts from the
                     // durable snapshot; without one it keeps its live state
-                    // and delivery resumes after it.
+                    // and delivery resumes after it. A snapshot that fails
+                    // to decode fail-stops the node, like any storage rot.
                     if node.app.last_zxid() < rec.history.base() {
                         let snap = rec.snapshot.clone().expect("base > 0 implies snapshot");
-                        node.app.install(&snap);
+                        if node.app.install(&snap).is_err() {
+                            node.metrics.counter("node.snapshot_install_failures").inc();
+                            self.stats.snapshot_install_failures += 1;
+                            self.storage_fault(id);
+                            return;
+                        }
+                        node.commits_delivered.set(node.app.len() as i64);
                     }
                     let applied_to = node.app.last_zxid();
-                    let (zab, acts) = Zab::from_election(
+                    let (mut zab, acts) = Zab::from_election(
                         id,
                         leader,
                         self.cluster.clone(),
@@ -833,6 +873,7 @@ impl Sim {
                         applied_to,
                         now_ms,
                     );
+                    zab.set_metrics(CoreMetrics::registered(&node.metrics));
                     node.zab = Some(zab);
                     self.route_zab_actions(id, acts, inbox);
                 }
@@ -874,6 +915,7 @@ impl Sim {
                 Action::Deliver { txn } => {
                     let node = self.nodes.get_mut(&id).expect("known node");
                     node.app.apply(&txn);
+                    node.commits_delivered.set(node.app.len() as i64);
                     node.delivered_since_compact += 1;
                     if let Some(every) = self.cfg.compact_every {
                         if node.delivered_since_compact >= every {
@@ -891,8 +933,17 @@ impl Sim {
                     self.workload_on_delivered(id, &txn);
                 }
                 Action::InstallSnapshot { snapshot, .. } => {
+                    // A malformed snapshot off the (simulated) wire is a
+                    // node fault, not a simulator panic: count it and
+                    // fail-stop, leaving the applied state readable.
                     let node = self.nodes.get_mut(&id).expect("known node");
-                    node.app.install(&snapshot);
+                    if node.app.install(&snapshot).is_err() {
+                        node.metrics.counter("node.snapshot_install_failures").inc();
+                        self.stats.snapshot_install_failures += 1;
+                        self.storage_fault(id);
+                        return;
+                    }
+                    node.commits_delivered.set(node.app.len() as i64);
                 }
                 Action::TakeSnapshot => {
                     let node = self.nodes.get_mut(&id).expect("known node");

@@ -71,6 +71,8 @@ pub struct SimStats {
     pub rejections: u64,
     /// Nodes fail-stopped by an injected storage error.
     pub storage_faults: u64,
+    /// Snapshot installs rejected as malformed (node fail-stops).
+    pub snapshot_install_failures: u64,
 }
 
 impl SimStats {
@@ -79,18 +81,24 @@ impl SimStats {
         LatencyStats::from_samples(self.ops.iter().map(|o| o.completed_us - o.issued_us).collect())
     }
 
-    /// Throughput in operations per *virtual* second over the span of
-    /// completed operations. Returns `None` with fewer than 2 completions.
+    /// Throughput in operations per *virtual* second: **all** completed
+    /// operations divided by the span from first to last completion.
+    /// (`n / span`, not `(n-1) / span` — the old interval-count
+    /// convention under-reported bursty completions.) Returns `None`
+    /// with fewer than 2 completions or a zero-length span, where a
+    /// rate is undefined.
     pub fn throughput_ops_per_sec(&self) -> Option<f64> {
         if self.ops.len() < 2 {
             return None;
         }
-        let first = self.ops.iter().map(|o| o.completed_us).min().expect("nonempty");
-        let last = self.ops.iter().map(|o| o.completed_us).max().expect("nonempty");
+        let (first, last) = self
+            .ops
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), o| (lo.min(o.completed_us), hi.max(o.completed_us)));
         if last == first {
             return None;
         }
-        Some((self.ops.len() as f64 - 1.0) * 1_000_000.0 / (last - first) as f64)
+        Some(self.ops.len() as f64 * 1_000_000.0 / (last - first) as f64)
     }
 }
 
@@ -128,9 +136,49 @@ mod tests {
         for i in 0..11u64 {
             stats.ops.push(OpRecord { op_id: i, issued_us: i * 100, completed_us: i * 100_000 });
         }
-        // 11 ops over 1 second span → 10 intervals / 1s.
+        // 11 ops over a 1-second span → 11 ops/s.
         let tput = stats.throughput_ops_per_sec().unwrap();
-        assert!((tput - 10.0).abs() < 1e-9, "got {tput}");
+        assert!((tput - 11.0).abs() < 1e-9, "got {tput}");
+    }
+
+    #[test]
+    fn throughput_two_ops_is_ops_over_span() {
+        let mut stats = SimStats::default();
+        stats.ops.push(OpRecord { op_id: 0, issued_us: 0, completed_us: 500_000 });
+        stats.ops.push(OpRecord { op_id: 1, issued_us: 0, completed_us: 1_000_000 });
+        // 2 ops over a 0.5-second span → exactly 4 ops/s.
+        let tput = stats.throughput_ops_per_sec().unwrap();
+        assert!((tput - 4.0).abs() < 1e-9, "got {tput}");
+    }
+
+    #[test]
+    fn throughput_is_order_independent() {
+        let mut stats = SimStats::default();
+        // Completion records arrive out of order (deliveries on
+        // different nodes interleave); the single-pass scan must still
+        // find the true span.
+        for &t in &[700_000u64, 200_000, 900_000, 400_000] {
+            stats.ops.push(OpRecord { op_id: t, issued_us: 0, completed_us: t });
+        }
+        // 4 ops over a 0.7-second span.
+        let tput = stats.throughput_ops_per_sec().unwrap();
+        assert!((tput - 4.0 / 0.7).abs() < 1e-9, "got {tput}");
+    }
+
+    #[test]
+    fn throughput_equal_timestamps_is_undefined() {
+        let mut stats = SimStats::default();
+        for i in 0..3u64 {
+            stats.ops.push(OpRecord { op_id: i, issued_us: 0, completed_us: 42 });
+        }
+        assert_eq!(stats.throughput_ops_per_sec(), None);
+    }
+
+    #[test]
+    fn throughput_single_op_is_undefined() {
+        let mut stats = SimStats::default();
+        stats.ops.push(OpRecord { op_id: 0, issued_us: 0, completed_us: 10 });
+        assert_eq!(stats.throughput_ops_per_sec(), None);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use zab_core::{Message, ServerId};
 use zab_election::Notification;
+use zab_metrics::Registry;
 use zab_wire::frame::{frame_header, FrameDecoder, HEADER_LEN};
 
 /// A message on the mesh: protocol or election traffic.
@@ -131,6 +132,9 @@ pub struct Transport {
     /// Clones of live inbound sockets, keyed by connection id. Readers
     /// block on these; `Drop` shuts them down to unblock the threads.
     inbound: ConnRegistry,
+    /// Metrics registry shared with the sender/reader threads
+    /// (per-peer instruments under `transport.*.<peer>`).
+    metrics: Arc<Registry>,
 }
 
 /// Registry of live inbound connections (see [`Transport::inbound`]).
@@ -140,6 +144,9 @@ impl Transport {
     /// Binds `listen` and spawns the accept loop plus one sender thread per
     /// peer in `peers` (peers may be down; senders retry forever).
     ///
+    /// Metrics are recorded into a private registry; use
+    /// [`Transport::start_with_metrics`] to share the replica's.
+    ///
     /// # Errors
     ///
     /// Fails if the listen socket cannot be bound.
@@ -147,6 +154,25 @@ impl Transport {
         id: ServerId,
         listen: SocketAddr,
         peers: BTreeMap<ServerId, SocketAddr>,
+    ) -> std::io::Result<Transport> {
+        Transport::start_with_metrics(id, listen, peers, Arc::new(Registry::new()))
+    }
+
+    /// [`Transport::start`] recording into `metrics`: per-peer counters
+    /// `transport.{bytes,frames}_{in,out}.<peer>`, dial accounting
+    /// `transport.{connects,connect_failures,disconnects}.<peer>`, and the
+    /// `transport.send_queue_depth.<peer>` gauge. Instruments must exist
+    /// at thread spawn, which is why the registry is a constructor argument
+    /// rather than a `set_metrics` seam.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen socket cannot be bound.
+    pub fn start_with_metrics(
+        id: ServerId,
+        listen: SocketAddr,
+        peers: BTreeMap<ServerId, SocketAddr>,
+        metrics: Arc<Registry>,
     ) -> std::io::Result<Transport> {
         let listener = TcpListener::bind(listen)?;
         let local_addr = listener.local_addr()?;
@@ -162,8 +188,9 @@ impl Transport {
             let events_tx = events_tx.clone();
             let stop = Arc::clone(&stop);
             let inbound = Arc::clone(&inbound);
+            let metrics = Arc::clone(&metrics);
             threads.push(thread::spawn(move || {
-                accept_loop(listener, events_tx, stop, inbound);
+                accept_loop(listener, events_tx, stop, inbound, metrics);
             }));
         }
 
@@ -176,8 +203,9 @@ impl Transport {
             senders.insert(peer, tx);
             let events_tx = events_tx.clone();
             let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
             threads.push(thread::spawn(move || {
-                sender_loop(id, peer, addr, rx, events_tx, stop);
+                sender_loop(id, peer, addr, rx, events_tx, stop, metrics);
             }));
         }
 
@@ -189,7 +217,13 @@ impl Transport {
             threads: Mutex::new(threads),
             local_addr,
             inbound,
+            metrics,
         })
+    }
+
+    /// The registry this transport records into.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// This endpoint's server id.
@@ -308,6 +342,7 @@ fn accept_loop(
     events_tx: Sender<TransportEvent>,
     stop: Arc<AtomicBool>,
     inbound: ConnRegistry,
+    metrics: Arc<Registry>,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     let mut next_conn_id = 0u64;
@@ -322,8 +357,9 @@ fn accept_loop(
                 let events_tx = events_tx.clone();
                 let inbound = Arc::clone(&inbound);
                 let stop = Arc::clone(&stop);
+                let metrics = Arc::clone(&metrics);
                 readers.push(thread::spawn(move || {
-                    reader_loop(stream, events_tx, stop);
+                    reader_loop(stream, events_tx, stop, metrics);
                     inbound.lock().remove(&conn_id);
                 }));
             }
@@ -341,7 +377,12 @@ fn accept_loop(
 /// Reads one inbound connection: handshake, then frames. Reads block —
 /// no timeout polling; [`Transport`]'s `Drop` shuts the socket down to
 /// unblock this thread at teardown.
-fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: Arc<AtomicBool>) {
+fn reader_loop(
+    mut stream: TcpStream,
+    events_tx: Sender<TransportEvent>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<Registry>,
+) {
     let _ = stream.set_nodelay(true);
     // Handshake: 8-byte peer id.
     let mut hs = [0u8; 8];
@@ -349,6 +390,8 @@ fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: A
         return;
     }
     let peer = ServerId(u64::from_le_bytes(hs));
+    let bytes_in = metrics.counter(&format!("transport.bytes_in.{}", peer.0));
+    let frames_in = metrics.counter(&format!("transport.frames_in.{}", peer.0));
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 64 * 1024];
     loop {
@@ -358,10 +401,12 @@ fn reader_loop(mut stream: TcpStream, events_tx: Sender<TransportEvent>, stop: A
         match stream.read(&mut buf) {
             Ok(0) => break, // EOF: peer closed (or teardown shutdown).
             Ok(n) => {
+                bytes_in.add(n as u64);
                 decoder.extend(&buf[..n]);
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(payload)) => {
+                            frames_in.inc();
                             if let Some(msg) = TransportMsg::decode(payload) {
                                 let _ = events_tx.send(TransportEvent::Message { from: peer, msg });
                             }
@@ -390,7 +435,14 @@ fn sender_loop(
     rx: Receiver<SendCmd>,
     events_tx: Sender<TransportEvent>,
     stop: Arc<AtomicBool>,
+    metrics: Arc<Registry>,
 ) {
+    let bytes_out = metrics.counter(&format!("transport.bytes_out.{}", peer.0));
+    let frames_out = metrics.counter(&format!("transport.frames_out.{}", peer.0));
+    let connects = metrics.counter(&format!("transport.connects.{}", peer.0));
+    let connect_failures = metrics.counter(&format!("transport.connect_failures.{}", peer.0));
+    let disconnects = metrics.counter(&format!("transport.disconnects.{}", peer.0));
+    let queue_depth = metrics.gauge(&format!("transport.send_queue_depth.{}", peer.0));
     let mut conn: Option<TcpStream> = None;
     let mut backoff = Backoff::new(me, peer);
     let mut next_attempt = Instant::now();
@@ -416,6 +468,8 @@ fn sender_loop(
         if matches!(cmd, Some(SendCmd::Stop)) {
             return;
         }
+        // Racy-but-cheap depth sample; diagnostics only.
+        queue_depth.set(rx.len() as i64);
         // (Re)dial when the backoff window has elapsed — also while idle,
         // so the first real send doesn't pay the dial latency.
         if conn.is_none() && Instant::now() >= next_attempt {
@@ -423,10 +477,12 @@ fn sender_loop(
                 Ok(stream) => {
                     conn = Some(stream);
                     backoff.reset();
+                    connects.inc();
                 }
                 Err(e) => {
                     let attempt = backoff.attempt();
                     next_attempt = Instant::now() + backoff.next_delay();
+                    connect_failures.inc();
                     let _ = events_tx.send(TransportEvent::ConnectFailed {
                         peer,
                         attempt,
@@ -446,7 +502,11 @@ fn sender_loop(
                 conn = None;
                 // One immediate re-dial on a broken write, then backoff.
                 next_attempt = Instant::now();
+                disconnects.inc();
                 let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
+            } else {
+                frames_out.inc();
+                bytes_out.add((HEADER_LEN + payload.len()) as u64);
             }
         }
     }
@@ -589,6 +649,50 @@ mod tests {
                 break;
             }
             assert!(Instant::now() < deadline, "message never arrived");
+        }
+    }
+
+    #[test]
+    fn per_peer_metrics_count_frames_and_bytes() {
+        let mesh = mesh(2);
+        let msg = Message::Ack { zxid: Zxid::new(Epoch(3), 11) };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            mesh[0].send(ServerId(2), TransportMsg::Zab(msg.clone()));
+            if wait_msg(&mesh[1], Duration::from_millis(300)).is_some() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "message never arrived");
+        }
+        let sender = mesh[0].metrics().snapshot();
+        assert!(sender.counter("transport.connects.2") >= 1);
+        assert!(sender.counter("transport.frames_out.2") >= 1);
+        // Every frame carries a header plus a non-empty payload.
+        assert!(sender.counter("transport.bytes_out.2") > HEADER_LEN as u64);
+        let receiver = mesh[1].metrics().snapshot();
+        assert!(receiver.counter("transport.frames_in.1") >= 1);
+        assert!(receiver.counter_sum("transport.bytes_in.") > HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn connect_failures_are_counted() {
+        let l1 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a1 = l1.local_addr().expect("addr");
+        drop(l1);
+        let l2 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a2 = l2.local_addr().expect("addr");
+        drop(l2);
+        let book: BTreeMap<ServerId, SocketAddr> =
+            [(ServerId(1), a1), (ServerId(2), a2)].into_iter().collect();
+        let t = Transport::start(ServerId(1), a1, book).expect("start");
+        t.send(ServerId(2), TransportMsg::Zab(Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if t.metrics().snapshot().counter("transport.connect_failures.2") >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "dial failure never counted");
+            thread::sleep(Duration::from_millis(20));
         }
     }
 
