@@ -46,7 +46,10 @@ fn bench_frame(c: &mut Criterion) {
 
 fn bench_message_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("message");
-    let msg = Message::Propose { txn: Txn::new(Zxid::new(Epoch(3), 42), vec![9u8; 1024]) };
+    let msg = Message::Propose {
+        txn: Txn::new(Zxid::new(Epoch(3), 42), vec![9u8; 1024]),
+        commit_up_to: Zxid::new(Epoch(3), 41),
+    };
     g.throughput(Throughput::Bytes(1024));
     g.bench_function("encode_propose_1KiB", |b| b.iter(|| black_box(&msg).encode()));
     let wire = msg.encode();
@@ -141,6 +144,7 @@ fn bench_fanout(c: &mut Criterion) {
     for size in FANOUT_PAYLOADS {
         let msg = Message::Propose {
             txn: Txn::new(Zxid::new(Epoch(1), 1), Bytes::from(vec![0xC3u8; size])),
+            commit_up_to: Zxid::ZERO,
         };
         for n in FANOUT_FOLLOWERS {
             g.throughput(Throughput::Elements(n as u64));
@@ -156,6 +160,7 @@ fn bench_fanout(c: &mut Criterion) {
     for size in FANOUT_PAYLOADS {
         let msg = Message::Propose {
             txn: Txn::new(Zxid::new(Epoch(1), 1), Bytes::from(vec![0xC3u8; size])),
+            commit_up_to: Zxid::ZERO,
         };
         for n in FANOUT_FOLLOWERS {
             for _ in 0..1_000 {
@@ -174,7 +179,10 @@ fn bench_fanout(c: &mut Criterion) {
             ));
         }
     }
-    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fanout.json".into());
+    // All BENCH_*.json land at the repo root so the perf-trajectory
+    // tracker finds them regardless of the bench's working directory.
+    let out = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json").into());
     if let Ok(mut f) = std::fs::File::create(&out) {
         let _ = writeln!(
             f,

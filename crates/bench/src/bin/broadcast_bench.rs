@@ -1,0 +1,377 @@
+//! **Broadcast saturation bench — the paper's three headline figures on
+//! real TCP.**
+//!
+//! Drives real localhost ensembles (in-memory storage, so the disk does
+//! not confound the network path) to saturation and emits
+//! `BENCH_broadcast.json` at the repo root with three datasets:
+//!
+//! 1. saturated throughput vs. ensemble size (n = 3/5/7),
+//! 2. p50/p99 commit latency vs. offered load (fractions of the measured
+//!    3-node saturation point),
+//! 3. throughput vs. maximum outstanding proposals (1/8/32/128).
+//!
+//! Wall-clock numbers depend on the host; EXPERIMENTS.md records the
+//! shapes and the before/after of the cumulative-commit + frame-coalescing
+//! work. `--quick` shrinks every axis for CI smoke (schema-identical
+//! output).
+//!
+//! Run: `cargo run --release -p zab-bench --bin broadcast_bench [--quick]`
+//! Output: `BENCH_broadcast.json` at the repo root (`BENCH_OUT` overrides).
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use zab_bench::{fmt_f, print_header};
+use zab_core::ServerId;
+use zab_node::{apps::BytesApp, NodeConfig, NodeEvent, Replica, Role};
+
+const PAYLOAD: usize = 1024;
+
+struct Cluster {
+    replicas: BTreeMap<ServerId, Replica<BytesApp>>,
+    leader: ServerId,
+}
+
+impl Cluster {
+    /// Boots an n-server localhost ensemble and waits for an established
+    /// leader.
+    fn start(n: u64, max_outstanding: usize) -> Cluster {
+        let book: BTreeMap<ServerId, SocketAddr> = (1..=n)
+            .map(|i| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+                let addr = l.local_addr().expect("addr");
+                drop(l);
+                (ServerId(i), addr)
+            })
+            .collect();
+        let replicas: BTreeMap<ServerId, Replica<BytesApp>> = book
+            .keys()
+            .map(|&id| {
+                let mut cfg = NodeConfig::new(id, book.clone());
+                cfg.cluster.max_outstanding = max_outstanding;
+                (id, Replica::start(cfg, BytesApp::new()).expect("start"))
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let leader = loop {
+            if let Some((&id, _)) = replicas
+                .iter()
+                .find(|(_, r)| matches!(r.role(), Role::Leading { established: true, .. }))
+            {
+                break id;
+            }
+            assert!(Instant::now() < deadline, "no leader elected");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        Cluster { replicas, leader }
+    }
+
+    fn leader(&self) -> &Replica<BytesApp> {
+        &self.replicas[&self.leader]
+    }
+
+    /// Discards leader events until the stream stays silent, so a
+    /// backlog left by one (possibly over-saturating) run can never leak
+    /// deliveries into the next measurement on the same cluster.
+    fn drain_to_quiescence(&self) {
+        while self.leader().events().recv_timeout(Duration::from_millis(300)).is_ok() {}
+    }
+
+    /// Re-locates the established leader (an over-saturating run may have
+    /// forced a failover) and waits until one exists.
+    fn refresh_leader(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some((&id, _)) = self
+                .replicas
+                .iter()
+                .find(|(_, r)| matches!(r.role(), Role::Leading { established: true, .. }))
+            {
+                self.leader = id;
+                return;
+            }
+            assert!(Instant::now() < deadline, "no leader re-established");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// The op id embedded in the first 8 payload bytes, if present.
+fn op_id(data: &[u8]) -> Option<u64> {
+    data.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn payload(op: u64) -> Vec<u8> {
+    let mut p = vec![0u8; PAYLOAD];
+    p[..8].copy_from_slice(&op.to_le_bytes());
+    p
+}
+
+/// Commit latencies in milliseconds, plus the measurement wall-clock span.
+struct Measured {
+    latencies_ms: Vec<f64>,
+    elapsed_s: f64,
+}
+
+impl Measured {
+    fn ops_per_sec(&self) -> f64 {
+        self.latencies_ms.len() as f64 / self.elapsed_s
+    }
+
+    fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx]
+    }
+}
+
+/// Closed-loop saturation: keep `window` ops in flight until `ops`
+/// complete on the leader.
+fn run_closed_loop(cluster: &Cluster, window: usize, ops: u64) -> Measured {
+    let leader = cluster.leader();
+    let mut in_flight: BTreeMap<u64, Instant> = BTreeMap::new();
+    let mut issued = 0u64;
+    let mut latencies = Vec::with_capacity(ops as usize);
+    let t0 = Instant::now();
+    while issued < window.min(ops as usize) as u64 {
+        in_flight.insert(issued, Instant::now());
+        leader.submit(payload(issued));
+        issued += 1;
+    }
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while (latencies.len() as u64) < ops && Instant::now() < deadline {
+        match leader.events().recv_timeout(Duration::from_millis(500)) {
+            Ok(NodeEvent::Delivered(txn)) => {
+                let Some(op) = op_id(&txn.data) else { continue };
+                if let Some(start) = in_flight.remove(&op) {
+                    latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+                    if issued < ops {
+                        in_flight.insert(issued, Instant::now());
+                        leader.submit(payload(issued));
+                        issued += 1;
+                    }
+                }
+            }
+            Ok(NodeEvent::Rejected { request, .. }) => {
+                // A rejected op never commits; resubmit it so the closed
+                // loop still completes exactly `ops` measurements. The
+                // pause keeps a not-yet-reestablished leader from turning
+                // this into a hot reject spin.
+                let Some(op) = op_id(&request) else { continue };
+                if in_flight.remove(&op).is_some() {
+                    std::thread::sleep(Duration::from_millis(1));
+                    in_flight.insert(op, Instant::now());
+                    leader.submit(request.to_vec());
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(latencies.len() as u64, ops, "closed-loop run did not complete");
+    Measured { latencies_ms: latencies, elapsed_s: t0.elapsed().as_secs_f64() }
+}
+
+/// Open-loop offered load: submit at `rate` ops/s for `duration`,
+/// measuring the latency of everything that commits. In-flight count is
+/// capped so an over-saturating rate degrades to closed-loop at the cap
+/// instead of growing the queue without bound.
+fn run_offered_load(cluster: &Cluster, rate: f64, duration: Duration, cap: usize) -> Measured {
+    let leader = cluster.leader();
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let mut in_flight: BTreeMap<u64, Instant> = BTreeMap::new();
+    let mut issued = 0u64;
+    let mut latencies = Vec::new();
+    let t0 = Instant::now();
+    let mut next_due = t0;
+    let t_end = t0 + duration;
+    let mut rejected = 0u64;
+    while Instant::now() < t_end {
+        let now = Instant::now();
+        if now >= next_due && in_flight.len() < cap {
+            next_due += interval;
+            in_flight.insert(issued, Instant::now());
+            leader.submit(payload(issued));
+            issued += 1;
+        }
+        let wait = next_due.saturating_duration_since(Instant::now()).min(Duration::from_millis(1));
+        match leader.events().recv_timeout(wait) {
+            Ok(NodeEvent::Delivered(txn)) => {
+                let Some(op) = op_id(&txn.data) else { continue };
+                if let Some(start) = in_flight.remove(&op) {
+                    latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+                }
+            }
+            Ok(NodeEvent::Rejected { request, .. }) => {
+                // Open loop: a rejection is a lost op, visible as achieved
+                // falling under offered.
+                if let Some(op) = op_id(&request) {
+                    in_flight.remove(&op);
+                    rejected += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Drain the tail so its latency samples count.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while !in_flight.is_empty() && Instant::now() < drain_deadline {
+        match leader.events().recv_timeout(Duration::from_millis(200)) {
+            Ok(NodeEvent::Delivered(txn)) => {
+                let Some(op) = op_id(&txn.data) else { continue };
+                if let Some(start) = in_flight.remove(&op) {
+                    latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+                }
+            }
+            Ok(NodeEvent::Rejected { request, .. }) => {
+                if let Some(op) = op_id(&request) {
+                    in_flight.remove(&op);
+                    rejected += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if rejected > 0 {
+        println!("  (offered {rate:.0} ops/s: {rejected} rejected during leadership churn)");
+    }
+    Measured { latencies_ms: latencies, elapsed_s: t0.elapsed().as_secs_f64() }
+}
+
+struct Row {
+    fields: Vec<(&'static str, String)>,
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn rows_to_json(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let fields: Vec<String> =
+                r.fields.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+            format!("    {{{}}}", fields.join(", "))
+        })
+        .collect();
+    format!("[\n{}\n  ]", body.join(",\n"))
+}
+
+fn out_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // crates/bench → repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_broadcast.json")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Axis sizes: --quick is the CI smoke (schema-identical, seconds);
+    // the full run is the EXPERIMENTS.md record.
+    let (ensemble_sizes, sat_ops, windows, load_fractions, load_secs): (
+        &[u64],
+        u64,
+        &[usize],
+        &[f64],
+        f64,
+    ) = if quick {
+        (&[3], 500, &[1, 32], &[0.5, 0.9], 1.0)
+    } else {
+        (&[3, 5, 7], 4_000, &[1, 8, 32, 128], &[0.25, 0.5, 0.75, 0.9, 1.1], 3.0)
+    };
+    const SAT_WINDOW: usize = 512;
+
+    // Figure 1: saturated throughput vs. ensemble size.
+    println!("F1: saturated throughput vs. ensemble size ({sat_ops} x {PAYLOAD} B ops)\n");
+    print_header(&["servers", "window", "ops/s", "p50 (ms)", "p99 (ms)"]);
+    let mut fig1 = Vec::new();
+    let mut sat3 = 0.0f64;
+    for &n in ensemble_sizes {
+        let cluster = Cluster::start(n, 1000);
+        let m = run_closed_loop(&cluster, SAT_WINDOW, sat_ops);
+        let (tput, p50, p99) = (m.ops_per_sec(), m.percentile_ms(0.50), m.percentile_ms(0.99));
+        if n == 3 {
+            sat3 = tput;
+        }
+        println!("| {n} | {SAT_WINDOW} | {} | {} | {} |", fmt_f(tput), fmt_f(p50), fmt_f(p99));
+        fig1.push(Row {
+            fields: vec![
+                ("n", n.to_string()),
+                ("window", SAT_WINDOW.to_string()),
+                ("ops_per_sec", num(tput)),
+                ("p50_ms", num(p50)),
+                ("p99_ms", num(p99)),
+            ],
+        });
+    }
+
+    // Figure 2: latency vs. offered load (3 servers, fractions of the
+    // measured saturation point; the >1 point shows the saturated knee).
+    println!("\nF2: p50/p99 latency vs. offered load (3 servers, sat = {} ops/s)\n", fmt_f(sat3));
+    print_header(&["offered ops/s", "achieved ops/s", "p50 (ms)", "p99 (ms)"]);
+    let mut fig2 = Vec::new();
+    {
+        let mut cluster = Cluster::start(3, 1000);
+        for &f in load_fractions {
+            cluster.drain_to_quiescence();
+            cluster.refresh_leader();
+            let rate = (sat3 * f).max(10.0);
+            let m = run_offered_load(&cluster, rate, Duration::from_secs_f64(load_secs), 2_000);
+            let (ach, p50, p99) = (m.ops_per_sec(), m.percentile_ms(0.50), m.percentile_ms(0.99));
+            println!("| {} | {} | {} | {} |", fmt_f(rate), fmt_f(ach), fmt_f(p50), fmt_f(p99));
+            fig2.push(Row {
+                fields: vec![
+                    ("n", "3".to_string()),
+                    ("offered_ops_per_sec", num(rate)),
+                    ("achieved_ops_per_sec", num(ach)),
+                    ("p50_ms", num(p50)),
+                    ("p99_ms", num(p99)),
+                ],
+            });
+        }
+    }
+
+    // Figure 3: throughput vs. max outstanding proposals (3 servers).
+    // The submit window tracks the protocol window so the closed loop
+    // exercises exactly the pipelining depth under test.
+    println!("\nF3: throughput vs. max outstanding (3 servers)\n");
+    print_header(&["max outstanding", "ops/s", "p50 (ms)"]);
+    let mut fig3 = Vec::new();
+    for &w in windows {
+        let cluster = Cluster::start(3, w);
+        let ops = if quick { sat_ops } else { (sat_ops / 4).max(500) * (w.min(8) as u64) };
+        let m = run_closed_loop(&cluster, w, ops);
+        let (tput, p50) = (m.ops_per_sec(), m.percentile_ms(0.50));
+        println!("| {w} | {} | {} |", fmt_f(tput), fmt_f(p50));
+        fig3.push(Row {
+            fields: vec![
+                ("n", "3".to_string()),
+                ("max_outstanding", w.to_string()),
+                ("ops_per_sec", num(tput)),
+                ("p50_ms", num(p50)),
+            ],
+        });
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"zab-broadcast-bench/v1\",\n  \"quick\": {quick},\n  \
+         \"payload_bytes\": {PAYLOAD},\n  \"throughput_vs_ensemble\": {},\n  \
+         \"latency_vs_load\": {},\n  \"throughput_vs_outstanding\": {}\n}}\n",
+        rows_to_json(&fig1),
+        rows_to_json(&fig2),
+        rows_to_json(&fig3),
+    );
+    let path = out_path();
+    std::fs::write(&path, json).expect("write BENCH_broadcast.json");
+    println!("\nwrote {}", path.display());
+}

@@ -244,20 +244,11 @@ impl Follower {
             }
             Message::NewLeader { epoch } => self.on_new_leader(epoch, out),
             Message::UpToDate { commit_to } => self.on_up_to_date(commit_to, out),
-            Message::Propose { txn } => self.on_propose(txn, out),
+            Message::Propose { txn, commit_up_to } => self.on_propose(txn, commit_up_to, out),
             Message::Commit { zxid } => self.on_commit(zxid, out),
             Message::Ping { last_committed } => {
                 if self.phase == Phase::Broadcasting {
-                    let capped = last_committed.min(self.history.last_zxid());
-                    if capped > self.history.last_committed() {
-                        self.history.mark_committed(capped);
-                        deliver_committed(
-                            &self.history,
-                            &mut self.delivered_to,
-                            &self.metrics,
-                            out,
-                        );
-                    }
+                    self.advance_watermark(last_committed, out);
                 }
                 out.push(Action::Send {
                     to: self.leader,
@@ -435,7 +426,23 @@ impl Follower {
         out.push(Action::Activated { epoch: self.current_epoch });
     }
 
-    fn on_propose(&mut self, txn: Txn, out: &mut Vec<Action>) {
+    /// Advances the commit watermark to `watermark`, capped at the end of
+    /// accepted history, and delivers the newly committed prefix.
+    ///
+    /// The cap is what keeps advisory watermarks (piggybacked on `PROPOSE`
+    /// and carried by `PING`) safe: a watermark computed by the leader of
+    /// epoch e orders strictly below every epoch-(e+1) zxid, and anything
+    /// beyond our accepted history is clamped away — so a watermark can
+    /// never commit a transaction the issuing leader did not know.
+    fn advance_watermark(&mut self, watermark: Zxid, out: &mut Vec<Action>) {
+        let capped = watermark.min(self.history.last_zxid());
+        if capped > self.history.last_committed() {
+            self.history.mark_committed(capped);
+            deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+        }
+    }
+
+    fn on_propose(&mut self, txn: Txn, commit_up_to: Zxid, out: &mut Vec<Action>) {
         if self.phase != Phase::Broadcasting {
             self.abdicate("PROPOSE outside broadcast phase", out);
             return;
@@ -451,6 +458,11 @@ impl Follower {
         self.history.append(txn.clone());
         let token = self.token(Pending::AckProposal(txn.zxid));
         out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn]) });
+        // The piggybacked watermark replaces the separate COMMIT frame on
+        // a busy pipeline. Only applied once the proposal itself passed
+        // the epoch and FIFO-gap checks above, so a frame from a deposed
+        // leader can never move the watermark.
+        self.advance_watermark(commit_up_to, out);
     }
 
     fn on_commit(&mut self, zxid: Zxid, out: &mut Vec<Action>) {
@@ -601,7 +613,7 @@ mod tests {
     fn proposal_persist_then_ack_then_commit_delivers() {
         let mut f = activated_follower();
         let t = txn(1, 1);
-        let a = f.handle(msg(Message::Propose { txn: t.clone() }));
+        let a = f.handle(msg(Message::Propose { txn: t.clone(), commit_up_to: Zxid::ZERO }));
         assert!(matches!(a[0], Action::Persist { .. }));
         let a2 = complete_persists(&mut f, &a);
         assert_eq!(sends(&a2), vec![&Message::Ack { zxid: t.zxid }]);
@@ -614,7 +626,9 @@ mod tests {
         let mut f = activated_follower();
         let mut persists = Vec::new();
         for c in 1..=3 {
-            persists.extend(f.handle(msg(Message::Propose { txn: txn(1, c) })));
+            persists.extend(
+                f.handle(msg(Message::Propose { txn: txn(1, c), commit_up_to: Zxid::ZERO })),
+            );
         }
         // Group commit: driver acks only the last token.
         let last_token = persists
@@ -632,14 +646,14 @@ mod tests {
     #[test]
     fn gap_in_proposal_stream_is_fatal() {
         let mut f = activated_follower();
-        let a = f.handle(msg(Message::Propose { txn: txn(1, 2) }));
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 2), commit_up_to: Zxid::ZERO }));
         assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
     }
 
     #[test]
     fn proposal_from_wrong_epoch_is_fatal() {
         let mut f = activated_follower();
-        let a = f.handle(msg(Message::Propose { txn: txn(9, 1) }));
+        let a = f.handle(msg(Message::Propose { txn: txn(9, 1), commit_up_to: Zxid::ZERO }));
         assert!(a.iter().any(|x| matches!(x, Action::GoToElection { .. })));
     }
 
@@ -647,7 +661,7 @@ mod tests {
     fn commit_watermark_delivers_in_order() {
         let mut f = activated_follower();
         for c in 1..=3 {
-            let a = f.handle(msg(Message::Propose { txn: txn(1, c) }));
+            let a = f.handle(msg(Message::Propose { txn: txn(1, c), commit_up_to: Zxid::ZERO }));
             complete_persists(&mut f, &a);
         }
         let a = f.handle(msg(Message::Commit { zxid: Zxid::new(Epoch(1), 3) }));
@@ -678,7 +692,7 @@ mod tests {
     #[test]
     fn ping_keeps_the_incarnation_alive_and_advances_commits() {
         let mut f = activated_follower();
-        let a = f.handle(msg(Message::Propose { txn: txn(1, 1) }));
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
         complete_persists(&mut f, &a);
         // Ping at t=300 with an advanced watermark.
         f.handle(Input::Tick { now_ms: 300 });
@@ -707,8 +721,10 @@ mod tests {
     #[test]
     fn messages_from_non_leader_are_dropped() {
         let mut f = activated_follower();
-        let a = f
-            .handle(Input::Message { from: ServerId(9), msg: Message::Propose { txn: txn(1, 1) } });
+        let a = f.handle(Input::Message {
+            from: ServerId(9),
+            msg: Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO },
+        });
         assert!(a.is_empty());
         assert_eq!(f.status(), FollowerStatus::Active);
     }
@@ -820,7 +836,7 @@ mod tests {
     fn defunct_follower_ignores_everything() {
         let mut f = activated_follower();
         f.handle(Input::PeerDisconnected { peer: LEADER });
-        let a = f.handle(msg(Message::Propose { txn: txn(1, 1) }));
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
         assert!(a.is_empty());
     }
 
@@ -864,11 +880,97 @@ mod tests {
     #[test]
     fn commit_is_idempotent() {
         let mut f = activated_follower();
-        let a = f.handle(msg(Message::Propose { txn: txn(1, 1) }));
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
         complete_persists(&mut f, &a);
         let first = f.handle(msg(Message::Commit { zxid: Zxid::new(Epoch(1), 1) }));
         assert!(first.iter().any(|x| matches!(x, Action::Deliver { .. })));
         let second = f.handle(msg(Message::Commit { zxid: Zxid::new(Epoch(1), 1) }));
         assert!(!second.iter().any(|x| matches!(x, Action::Deliver { .. })));
+    }
+
+    fn delivered_zxids(actions: &[Action]) -> Vec<Zxid> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { txn } => Some(txn.zxid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn piggybacked_watermark_delivers_prefix_without_commit_frame() {
+        let mut f = activated_follower();
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
+        complete_persists(&mut f, &a);
+        // The next proposal carries the commit watermark for (1,1): the
+        // prefix delivers with no standalone COMMIT frame ever arriving.
+        let a = f
+            .handle(msg(Message::Propose { txn: txn(1, 2), commit_up_to: Zxid::new(Epoch(1), 1) }));
+        assert_eq!(delivered_zxids(&a), vec![Zxid::new(Epoch(1), 1)]);
+        assert_eq!(f.last_committed(), Zxid::new(Epoch(1), 1));
+    }
+
+    #[test]
+    fn watermark_beyond_local_history_is_clamped() {
+        // An advisory watermark ahead of what we have accepted (possible
+        // when the leader commits on a quorum that excludes us) clamps to
+        // the end of local history instead of faulting — unlike an
+        // explicit COMMIT, which is fatal beyond history.
+        let mut f = activated_follower();
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
+        complete_persists(&mut f, &a);
+        let a = f
+            .handle(msg(Message::Propose { txn: txn(1, 2), commit_up_to: Zxid::new(Epoch(1), 5) }));
+        assert_eq!(delivered_zxids(&a), vec![Zxid::new(Epoch(1), 1), Zxid::new(Epoch(1), 2)]);
+        assert_eq!(f.status(), FollowerStatus::Active);
+        assert_eq!(f.last_committed(), Zxid::new(Epoch(1), 2));
+    }
+
+    #[test]
+    fn epoch_boundary_watermark_cannot_commit_next_epoch() {
+        // A follower that crossed a failover with an uncommitted epoch-1
+        // suffix: a watermark computed in epoch 1 must commit exactly that
+        // suffix and nothing from epoch 2, even though epoch-2 proposals
+        // are already accepted locally.
+        let mut h = History::new();
+        h.append(txn(1, 1));
+        h.append(txn(1, 2));
+        let state =
+            PersistentState { accepted_epoch: Epoch(1), current_epoch: Epoch(1), history: h };
+        let (mut f, _) = Follower::new(ME, LEADER, cfg(), state, Zxid::ZERO, 0);
+        let a = f.handle(msg(Message::NewEpoch { epoch: Epoch(2) }));
+        complete_persists(&mut f, &a);
+        let _ = f.handle(msg(Message::SyncDiff { txns: vec![] }));
+        let a = f.handle(msg(Message::NewLeader { epoch: Epoch(2) }));
+        complete_persists(&mut f, &a);
+        let _ = f.handle(msg(Message::UpToDate { commit_to: Zxid::ZERO }));
+        assert_eq!(f.status(), FollowerStatus::Active);
+        assert_eq!(f.last_committed(), Zxid::ZERO);
+        // First epoch-2 proposal piggybacks the epoch-1 watermark: the
+        // old-epoch suffix commits, the new proposal itself does not.
+        let a = f
+            .handle(msg(Message::Propose { txn: txn(2, 1), commit_up_to: Zxid::new(Epoch(1), 2) }));
+        assert_eq!(delivered_zxids(&a), vec![Zxid::new(Epoch(1), 1), Zxid::new(Epoch(1), 2)]);
+        assert_eq!(f.last_committed(), Zxid::new(Epoch(1), 2));
+        // The epoch-2 entry commits only once an epoch-2 watermark covers it.
+        let a = f
+            .handle(msg(Message::Propose { txn: txn(2, 2), commit_up_to: Zxid::new(Epoch(2), 1) }));
+        assert_eq!(delivered_zxids(&a), vec![Zxid::new(Epoch(2), 1)]);
+    }
+
+    #[test]
+    fn wrong_epoch_propose_watermark_is_never_applied() {
+        // A PROPOSE that fails the epoch check must not move the commit
+        // watermark either: the deposed leader computed it from a history
+        // this follower has moved past.
+        let mut f = activated_follower();
+        let a = f.handle(msg(Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::ZERO }));
+        complete_persists(&mut f, &a);
+        let a = f
+            .handle(msg(Message::Propose { txn: txn(9, 1), commit_up_to: Zxid::new(Epoch(1), 1) }));
+        assert!(delivered_zxids(&a).is_empty());
+        assert_eq!(f.status(), FollowerStatus::Defunct);
+        assert_eq!(f.last_committed(), Zxid::ZERO);
     }
 }

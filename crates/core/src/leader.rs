@@ -695,7 +695,12 @@ impl Leader {
     }
 
     /// Proposes queued requests while the outstanding window allows.
-    fn pump_proposals(&mut self, out: &mut Vec<Action>) {
+    /// Returns how many proposals went out; each carries the current
+    /// commit watermark, so a caller that just advanced it can skip the
+    /// standalone `COMMIT` frame (see [`Leader::try_commit`]).
+    fn pump_proposals(&mut self, out: &mut Vec<Action>) -> usize {
+        let commit_up_to = self.history.last_committed();
+        let mut pumped = 0;
         while self.outstanding < self.config.max_outstanding {
             let Some(data) = self.pending_requests.pop_front() else { break };
             self.counter = self.counter.checked_add(1).expect("zxid counter exhausted");
@@ -703,13 +708,15 @@ impl Leader {
             let txn = Txn { zxid, data };
             self.history.append(txn.clone());
             self.outstanding += 1;
+            pumped += 1;
             self.metrics.proposals_proposed.inc();
             self.propose_times.insert(zxid, self.now_ms);
             let token = self.token(Pending::SelfAck(zxid));
             out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn.clone()]) });
-            self.broadcast(Message::Propose { txn }, out);
+            self.broadcast(Message::Propose { txn, commit_up_to }, out);
         }
         self.metrics.outstanding_depth.set(self.outstanding as i64);
+        pumped
     }
 
     /// Sends to active peers; queues for syncing peers (FIFO per peer).
@@ -826,9 +833,16 @@ impl Leader {
         }
         self.metrics.outstanding_depth.set(self.outstanding as i64);
         self.history.mark_committed(z);
-        self.broadcast(Message::Commit { zxid: z }, out);
         deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
-        self.pump_proposals(out);
+        // One cumulative COMMIT per quorum crossing — and none at all when
+        // the window reopens and new proposals go out in this same
+        // `handle()` call: every PROPOSE piggybacks the watermark, so the
+        // standalone frame would be pure overhead on a saturated pipeline.
+        // (`broadcast` and `pump_proposals` reach the same peer set, so a
+        // pumped proposal implies every active and syncing peer saw `z`.)
+        if self.pump_proposals(out) == 0 {
+            self.broadcast(Message::Commit { zxid: z }, out);
+        }
     }
 }
 
@@ -938,8 +952,8 @@ mod tests {
         let a = l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") });
         let zxid = Zxid::new(Epoch(1), 1);
         // Propose fans out to both followers; persist requested.
-        assert!(matches!(sends_to(&a, F2)[0], Message::Propose { txn } if txn.zxid == zxid));
-        assert!(matches!(sends_to(&a, F3)[0], Message::Propose { txn } if txn.zxid == zxid));
+        assert!(matches!(sends_to(&a, F2)[0], Message::Propose { txn, .. } if txn.zxid == zxid));
+        assert!(matches!(sends_to(&a, F3)[0], Message::Propose { txn, .. } if txn.zxid == zxid));
         assert_eq!(l.outstanding(), 1);
         // Self persist alone: no commit (1 of 3).
         let a2 = complete_persists(&mut l, &a);
@@ -1020,10 +1034,51 @@ mod tests {
         // Commit of 1 pumps proposal 2.
         assert!(a.iter().any(|x| matches!(
             x,
-            Action::Send { msg: Message::Propose { txn }, .. } if txn.zxid == Zxid::new(Epoch(1), 2)
+            Action::Send { msg: Message::Propose { txn, .. }, .. } if txn.zxid == Zxid::new(Epoch(1), 2)
         )));
         assert_eq!(l.outstanding(), 1);
         assert_eq!(l.queued_requests(), 0);
+    }
+
+    #[test]
+    fn pumped_proposal_suppresses_standalone_commit_frame() {
+        let mut config = cfg();
+        config.max_outstanding = 1;
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(l.is_established());
+
+        let a1 = l.handle(Input::ClientRequest { data: Bytes::from_static(b"1") });
+        let _ = l.handle(Input::ClientRequest { data: Bytes::from_static(b"2") });
+        complete_persists(&mut l, &a1);
+        let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        // The commit pumps proposal 2, which carries the watermark — so
+        // no standalone COMMIT frame goes out in the same batch.
+        let f2_msgs = sends_to(&a, F2);
+        assert!(f2_msgs.iter().any(|m| matches!(
+            m,
+            Message::Propose { txn, commit_up_to }
+                if txn.zxid == Zxid::new(Epoch(1), 2) && *commit_up_to == Zxid::new(Epoch(1), 1)
+        )));
+        assert!(!f2_msgs.iter().any(|m| matches!(m, Message::Commit { .. })));
+
+        // With nothing queued, the next commit falls back to an explicit
+        // COMMIT broadcast.
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), 2) }));
+        assert!(sends_to(&a, F2)
+            .iter()
+            .any(|m| matches!(m, Message::Commit { zxid } if *zxid == Zxid::new(Epoch(1), 2))));
     }
 
     #[test]
@@ -1143,7 +1198,7 @@ mod tests {
         assert!(matches!(f3_msgs[0], Message::UpToDate { .. }));
         assert!(f3_msgs.iter().any(|m| matches!(
             m,
-            Message::Propose { txn } if txn.zxid == Zxid::new(Epoch(1), 2)
+            Message::Propose { txn, .. } if txn.zxid == Zxid::new(Epoch(1), 2)
         )));
         assert!(f3_msgs.iter().any(|m| matches!(
             m,

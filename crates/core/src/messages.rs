@@ -98,10 +98,17 @@ pub enum Message {
         /// Commit (and deliver) everything up to this zxid.
         commit_to: Zxid,
     },
-    /// Phase 3 (l → f): a new proposal.
+    /// Phase 3 (l → f): a new proposal, carrying the leader's commit
+    /// watermark so a saturated pipeline needs no separate `COMMIT`
+    /// frame per quorum crossing.
     Propose {
         /// The proposed transaction.
         txn: Txn,
+        /// The leader's highest committed zxid at proposal time — a
+        /// cumulative commit-up-to watermark (see [`Message::Commit`]).
+        /// Always strictly below `txn.zxid`; [`Zxid::ZERO`] on frames
+        /// from peers predating the watermark (legacy tag).
+        commit_up_to: Zxid,
     },
     /// Phase 3 (f → l): the proposal is durable at this follower. Acks are
     /// cumulative per the FIFO-channel assumption.
@@ -109,9 +116,11 @@ pub enum Message {
         /// Zxid of the acked proposal.
         zxid: Zxid,
     },
-    /// Phase 3 (l → f): a quorum acked — deliver.
+    /// Phase 3 (l → f): a quorum acked — deliver. Cumulative: everything
+    /// up to and including `zxid` commits (the FIFO channel guarantees
+    /// the follower has accepted that prefix).
     Commit {
-        /// Zxid of the committed transaction.
+        /// Commit watermark: the highest quorum-acked zxid.
         zxid: Zxid,
     },
     /// Heartbeat (l → f), also carrying the commit watermark so idle
@@ -142,6 +151,11 @@ const TAG_ACK: u8 = 11;
 const TAG_COMMIT: u8 = 12;
 const TAG_PING: u8 = 13;
 const TAG_PONG: u8 = 14;
+/// `PROPOSE` with a piggybacked commit watermark. Encoding always emits
+/// this tag; plain [`TAG_PROPOSE`] still decodes (watermark
+/// [`Zxid::ZERO`], i.e. "no information") so mixed-version ensembles
+/// interoperate during a rolling upgrade.
+const TAG_PROPOSE_COMMIT: u8 = 15;
 
 fn put_txns(buf: &mut Vec<u8>, txns: &[Txn]) {
     buf.put_u32_le_wire(txns.len() as u32);
@@ -235,8 +249,9 @@ impl Message {
                 buf.put_u8_wire(TAG_UP_TO_DATE);
                 buf.put_u64_le_wire(commit_to.0);
             }
-            Message::Propose { txn } => {
-                buf.put_u8_wire(TAG_PROPOSE);
+            Message::Propose { txn, commit_up_to } => {
+                buf.put_u8_wire(TAG_PROPOSE_COMMIT);
+                buf.put_u64_le_wire(commit_up_to.0);
                 txn.encode(buf);
             }
             Message::Ack { zxid } => {
@@ -315,7 +330,11 @@ impl Message {
                 last_zxid: Zxid(cur.get_u64_le_wire()?),
             },
             TAG_UP_TO_DATE => Message::UpToDate { commit_to: Zxid(cur.get_u64_le_wire()?) },
-            TAG_PROPOSE => Message::Propose { txn: Txn::decode(cur)? },
+            TAG_PROPOSE => Message::Propose { txn: Txn::decode(cur)?, commit_up_to: Zxid::ZERO },
+            TAG_PROPOSE_COMMIT => {
+                let commit_up_to = Zxid(cur.get_u64_le_wire()?);
+                Message::Propose { txn: Txn::decode(cur)?, commit_up_to }
+            }
             TAG_ACK => Message::Ack { zxid: Zxid(cur.get_u64_le_wire()?) },
             TAG_COMMIT => Message::Commit { zxid: Zxid(cur.get_u64_le_wire()?) },
             TAG_PING => Message::Ping { last_committed: Zxid(cur.get_u64_le_wire()?) },
@@ -351,7 +370,8 @@ mod tests {
             Message::NewLeader { epoch: Epoch(4) },
             Message::AckNewLeader { epoch: Epoch(4), last_zxid: Zxid::new(Epoch(3), 7) },
             Message::UpToDate { commit_to: Zxid::new(Epoch(3), 7) },
-            Message::Propose { txn: txn(4, 1) },
+            Message::Propose { txn: txn(4, 1), commit_up_to: Zxid::ZERO },
+            Message::Propose { txn: txn(4, 2), commit_up_to: Zxid::new(Epoch(4), 1) },
             Message::Ack { zxid: Zxid::new(Epoch(4), 1) },
             Message::Commit { zxid: Zxid::new(Epoch(4), 1) },
             Message::Ping { last_committed: Zxid::new(Epoch(4), 1) },
@@ -379,7 +399,8 @@ mod tests {
 
     #[test]
     fn truncated_message_rejected() {
-        let wire = Message::Propose { txn: txn(1, 1) }.encode();
+        let wire =
+            Message::Propose { txn: txn(1, 1), commit_up_to: Zxid::new(Epoch(1), 0) }.encode();
         for cut in 0..wire.len() {
             assert!(
                 Message::decode(&wire[..cut]).is_err(),
@@ -392,9 +413,24 @@ mod tests {
     fn kind_names_are_distinct_per_tag() {
         let mut kinds: Vec<&str> = all_variants().iter().map(|m| m.kind()).collect();
         kinds.dedup();
-        // all_variants has one duplicate kind (two SyncDiff cases).
+        // all_variants has duplicate kinds (two SyncDiff and two Propose
+        // cases).
         let unique: std::collections::BTreeSet<&str> = kinds.iter().copied().collect();
         assert_eq!(unique.len(), 14);
+    }
+
+    #[test]
+    fn legacy_propose_tag_decodes_with_zero_watermark() {
+        // A pre-watermark peer sends TAG_PROPOSE with just the txn; it
+        // must decode as a Propose carrying the "no information"
+        // watermark.
+        let t = txn(4, 1);
+        let mut wire = vec![TAG_PROPOSE];
+        t.encode(&mut wire);
+        assert_eq!(
+            Message::decode(&wire).expect("legacy decode"),
+            Message::Propose { txn: t, commit_up_to: Zxid::ZERO }
+        );
     }
 
     #[test]

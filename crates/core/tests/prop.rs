@@ -38,7 +38,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (0u32..100, arb_zxid())
             .prop_map(|(e, z)| Message::AckNewLeader { epoch: Epoch(e), last_zxid: z }),
         arb_zxid().prop_map(|z| Message::UpToDate { commit_to: z }),
-        arb_txn().prop_map(|txn| Message::Propose { txn }),
+        (arb_txn(), arb_zxid())
+            .prop_map(|(txn, commit_up_to)| Message::Propose { txn, commit_up_to }),
         arb_zxid().prop_map(|zxid| Message::Ack { zxid }),
         arb_zxid().prop_map(|zxid| Message::Commit { zxid }),
         arb_zxid().prop_map(|last_committed| Message::Ping { last_committed }),
@@ -258,7 +259,7 @@ proptest! {
         zxid in arb_zxid(),
     ) {
         let payload: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
-        let msg = Message::Propose { txn: Txn::new(zxid, payload.clone()) };
+        let msg = Message::Propose { txn: Txn::new(zxid, payload.clone()), commit_up_to: Zxid::ZERO };
 
         // Encode and frame as the transport does, then feed the frame
         // through the segment-based decoder.
@@ -269,7 +270,7 @@ proptest! {
         prop_assert!(dec.next_frame().unwrap().is_none());
 
         match Message::decode_bytes(wire).unwrap() {
-            Message::Propose { txn } => {
+            Message::Propose { txn, .. } => {
                 prop_assert_eq!(txn.zxid, zxid);
                 prop_assert_eq!(txn.data.as_ref(), &payload[..]);
             }

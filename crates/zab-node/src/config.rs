@@ -31,6 +31,13 @@ pub struct NodeConfig {
     pub metrics_dump_path: Option<PathBuf>,
     /// Interval between metrics dumps in milliseconds.
     pub metrics_dump_every_ms: u64,
+    /// Submit-side pipelining window: [`crate::Replica::submit`] blocks
+    /// once this many of this replica's own requests are in flight
+    /// (submitted but not yet delivered or rejected), giving open-loop
+    /// clients backpressure instead of an unbounded queue. `None`
+    /// (default) tracks the protocol window
+    /// ([`ClusterConfig::max_outstanding`]).
+    pub submit_window: Option<usize>,
 }
 
 impl NodeConfig {
@@ -53,7 +60,19 @@ impl NodeConfig {
             snapshot_every: None,
             metrics_dump_path: None,
             metrics_dump_every_ms: 1000,
+            submit_window: None,
         }
+    }
+
+    /// The effective submit window (see [`NodeConfig::submit_window`]).
+    pub fn effective_submit_window(&self) -> usize {
+        self.submit_window.unwrap_or(self.cluster.max_outstanding).max(1)
+    }
+
+    /// Caps this replica's own in-flight submissions at `window`.
+    pub fn with_submit_window(mut self, window: usize) -> NodeConfig {
+        self.submit_window = Some(window);
+        self
     }
 
     /// Uses file-backed storage rooted at `dir`.

@@ -82,6 +82,59 @@ enum Command {
     Shutdown,
 }
 
+/// Submit-side pipelining window: a counting gate that blocks
+/// [`Replica::submit`] once `cap` own requests are in flight, so an
+/// open-loop client saturates the pipeline instead of growing the
+/// command queue without bound. Slots are released as submissions
+/// deliver, get rejected, or are abandoned on demotion; `close()` (at
+/// shutdown) unblocks every waiter for good.
+struct SubmitGate {
+    cap: usize,
+    state: std::sync::Mutex<GateState>,
+    freed: std::sync::Condvar,
+}
+
+struct GateState {
+    in_flight: usize,
+    closed: bool,
+}
+
+impl SubmitGate {
+    fn new(cap: usize) -> SubmitGate {
+        SubmitGate {
+            cap: cap.max(1),
+            state: std::sync::Mutex::new(GateState { in_flight: 0, closed: false }),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees up (or the gate closes), then takes it.
+    fn acquire(&self) {
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while s.in_flight >= self.cap && !s.closed {
+            s = self.freed.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        s.in_flight += 1;
+    }
+
+    fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.in_flight = s.in_flight.saturating_sub(n);
+        drop(s);
+        self.freed.notify_all();
+    }
+
+    fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.closed = true;
+        drop(s);
+        self.freed.notify_all();
+    }
+}
+
 /// Disk-thread completions. Errors are *reported*, never swallowed: the
 /// event loop turns a `Faulted` into a fail-stop.
 enum DiskDone {
@@ -110,6 +163,7 @@ pub struct Replica<A: Application> {
     role: Arc<Mutex<Role>>,
     app: Arc<Mutex<A>>,
     metrics: Arc<Registry>,
+    submit_gate: Arc<SubmitGate>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -157,6 +211,7 @@ impl<A: Application> Replica<A> {
         let (done_tx, done_rx) = unbounded::<DiskDone>();
         let role = Arc::new(Mutex::new(Role::Looking));
         let app = Arc::new(Mutex::new(app));
+        let submit_gate = Arc::new(SubmitGate::new(cfg.effective_submit_window()));
 
         // Disk thread: group commit — drain everything queued, apply,
         // flush once, complete the batch's last token.
@@ -239,6 +294,7 @@ impl<A: Application> Replica<A> {
             election_started_ms: None,
             pending_commit_ms: VecDeque::new(),
             last_dump_ms: 0,
+            submit_gate: Arc::clone(&submit_gate),
         };
         let loop_thread = std::thread::spawn(move || loop_state.run());
 
@@ -249,6 +305,7 @@ impl<A: Application> Replica<A> {
             role,
             app,
             metrics,
+            submit_gate,
             threads: vec![disk_thread, loop_thread],
         })
     }
@@ -261,8 +318,18 @@ impl<A: Application> Replica<A> {
     /// Submits a client request. If this replica is the established
     /// primary, the application executes it and the resulting delta is
     /// broadcast; otherwise a [`NodeEvent::Rejected`] is emitted.
+    ///
+    /// Applies backpressure: blocks while [`NodeConfig::submit_window`]
+    /// own requests are already in flight (submitted but not yet
+    /// delivered or rejected), so an open-loop caller settles at the
+    /// pipeline's capacity instead of queueing without bound.
     pub fn submit(&self, request: Vec<u8>) {
-        let _ = self.commands.send(Command::Submit(request));
+        self.submit_gate.acquire();
+        if self.commands.send(Command::Submit(request)).is_err() {
+            // Event loop gone (shutdown race): nothing will release the
+            // slot we just took.
+            self.submit_gate.release(1);
+        }
     }
 
     /// The event stream (deliveries, role changes, rejections).
@@ -293,16 +360,14 @@ impl<A: Application> Replica<A> {
     }
 
     /// Stops all threads.
-    pub fn shutdown(mut self) {
-        let _ = self.commands.send(Command::Shutdown);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
+    pub fn shutdown(self) {}
 }
 
 impl<A: Application> Drop for Replica<A> {
     fn drop(&mut self) {
+        // Unblock any submitter stuck on the window before tearing down
+        // the loop that would have freed its slot.
+        self.submit_gate.close();
         let _ = self.commands.send(Command::Shutdown);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -340,6 +405,9 @@ struct EventLoop<A: Application> {
     /// (primary only; FIFO because commit order is submission order).
     pending_commit_ms: VecDeque<u64>,
     last_dump_ms: u64,
+    /// Shared with [`Replica::submit`]: every acquired slot is released
+    /// exactly once — on delivery, rejection, or demotion.
+    submit_gate: Arc<SubmitGate>,
 }
 
 impl<A: Application> EventLoop<A> {
@@ -351,7 +419,22 @@ impl<A: Application> EventLoop<A> {
         self.begin_election();
         let ticker = crossbeam::channel::tick(Duration::from_millis(self.cfg.tick_ms));
         loop {
+            // The ticker goes first: the select is biased toward earlier
+            // arms, and ticks drive pings and timeout checks — under a
+            // saturating workload the other channels are *always* ready,
+            // and a last-place ticker starves until followers give up on
+            // a perfectly healthy leader. First place cannot starve the
+            // others: a tick is ready at most once per tick_ms.
             crossbeam::channel::select! {
+                recv(ticker) -> _ => {
+                    // Collapse any backlog: one tick at the current clock
+                    // covers every missed period.
+                    while ticker.try_recv().is_ok() {}
+                    let now_ms = self.now_ms();
+                    self.feed_election(ElectionInput::Tick { now_ms });
+                    self.feed_zab(Input::Tick { now_ms });
+                    self.maybe_dump_metrics(now_ms);
+                }
                 recv(self.commands_rx) -> cmd => match cmd {
                     Ok(Command::Submit(request)) => self.on_submit(request),
                     Ok(Command::Shutdown) | Err(_) => return,
@@ -387,12 +470,6 @@ impl<A: Application> EventLoop<A> {
                     }
                     Err(_) => return,
                 },
-                recv(ticker) -> _ => {
-                    let now_ms = self.now_ms();
-                    self.feed_election(ElectionInput::Tick { now_ms });
-                    self.feed_zab(Input::Tick { now_ms });
-                    self.maybe_dump_metrics(now_ms);
-                }
             }
             self.publish_role();
         }
@@ -545,6 +622,7 @@ impl<A: Application> EventLoop<A> {
                             self.node_metrics
                                 .commit_inflight
                                 .set(self.pending_commit_ms.len() as i64);
+                            self.submit_gate.release(1);
                         }
                     }
                     let _ = self.events_tx.send(NodeEvent::Delivered(txn));
@@ -589,6 +667,13 @@ impl<A: Application> EventLoop<A> {
                 }
                 Action::Activated { .. } | Action::Committed { .. } => {}
                 Action::ClientRequestRejected { data, reason } => {
+                    // The request was accepted by on_submit (it holds a
+                    // gate slot and the newest latency entry) but the core
+                    // bounced it: undo both.
+                    if self.was_primary && self.pending_commit_ms.pop_back().is_some() {
+                        self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
+                        self.submit_gate.release(1);
+                    }
                     let _ = self
                         .events_tx
                         .send(NodeEvent::Rejected { request: data, reason: format!("{reason:?}") });
@@ -614,6 +699,7 @@ impl<A: Application> EventLoop<A> {
         if !is_primary {
             let reason =
                 if self.faulted { "StorageFaulted".to_string() } else { "NotPrimary".to_string() };
+            self.submit_gate.release(1);
             let _ =
                 self.events_tx.send(NodeEvent::Rejected { request: Bytes::from(request), reason });
             return;
@@ -626,6 +712,7 @@ impl<A: Application> EventLoop<A> {
                 self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) });
             }
             Err(reason) => {
+                self.submit_gate.release(1);
                 let _ = self
                     .events_tx
                     .send(NodeEvent::Rejected { request: Bytes::from(request), reason });
@@ -655,8 +742,11 @@ impl<A: Application> EventLoop<A> {
         if is_primary != self.was_primary {
             self.was_primary = is_primary;
             // Losing the primary role abandons in-flight submissions:
-            // their latency samples would straddle two incarnations.
+            // their latency samples would straddle two incarnations, and
+            // their gate slots would otherwise leak (no delivery or
+            // rejection will ever account for them here).
             if !is_primary {
+                self.submit_gate.release(self.pending_commit_ms.len());
                 self.pending_commit_ms.clear();
                 self.node_metrics.commit_inflight.set(0);
             }

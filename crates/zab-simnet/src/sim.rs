@@ -668,7 +668,8 @@ impl Sim {
                 | Message::Commit { .. }
                 | Message::Ping { .. }
                 | Message::Pong { .. } => 9,
-                Message::Propose { txn } => 13 + txn.data.len(),
+                // tag + watermark + zxid + len prefix + payload.
+                Message::Propose { txn, .. } => 21 + txn.data.len(),
                 Message::SyncDiff { txns } => {
                     5 + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
                 }

@@ -152,6 +152,45 @@ fn clock_skew_preserves_safety() {
     sim.check_invariants().unwrap();
 }
 
+/// Deep pipelining through the piggybacked commit watermark: with
+/// hundreds of proposals outstanding, most commits ride on later PROPOSE
+/// frames instead of standalone COMMITs. A mid-burst leader crash then
+/// forces an epoch change with uncommitted suffixes in flight — the
+/// epoch-e watermark must never commit an epoch-(e+1) proposal, and the
+/// full PO-atomic-broadcast checker must stay silent throughout.
+#[test]
+fn deep_pipeline_watermark_commits_survive_failover() {
+    let mut sim =
+        SimBuilder::new(5).seed(23).max_outstanding(256).timeouts_ms(200, 200, 25).build();
+    let leader = sim.run_until_leader(5_000_000).expect("initial leader");
+    for i in 0..200u32 {
+        sim.submit(leader, i.to_le_bytes().to_vec());
+    }
+    // Crash mid-burst so a deep uncommitted pipeline crosses the failover.
+    sim.run_for(100_000);
+    sim.check_invariants().unwrap();
+    sim.crash(leader);
+    let deadline = sim.now_us() + 5_000_000;
+    let next = sim.run_until_leader(deadline).expect("failover leader");
+    assert_ne!(next, leader);
+    for i in 200..400u32 {
+        sim.submit(next, i.to_le_bytes().to_vec());
+    }
+    sim.run_for(1_000_000);
+    sim.check_invariants().unwrap();
+    sim.restart(leader);
+    sim.run_for(5_000_000);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    // The run must actually have committed a deep pipeline's worth of ops.
+    let l = sim.leader().expect("stable leader");
+    assert!(
+        sim.applied_log(l).len() >= 200,
+        "expected a deep committed pipeline, got {} ops",
+        sim.applied_log(l).len()
+    );
+}
+
 /// The per-node metrics registries agree with the simulator's ground
 /// truth on a healthy cluster, and — because the simulator pins storage
 /// clocks at virtual zero — replay to byte-identical snapshots.

@@ -281,10 +281,13 @@ impl Drop for Transport {
 const CONNECT_BASE_DELAY_MS: u64 = 10;
 /// Backoff ceiling.
 const CONNECT_MAX_DELAY_MS: u64 = 1_000;
-/// How often an idle sender thread re-checks the stop flag.
-const IDLE_CHECK: Duration = Duration::from_millis(100);
 /// Accept-loop poll cadence (one thread per process).
 const POLL_DELAY: Duration = Duration::from_millis(5);
+/// Most frames one coalesced `write_vectored` covers.
+const MAX_BATCH_FRAMES: usize = 64;
+/// Soft byte cap per coalesced write: draining stops once the batch
+/// crosses this (a single larger frame still goes out whole).
+const MAX_BATCH_BYTES: usize = 256 * 1024;
 
 /// Capped exponential backoff with *deterministic* jitter: delays grow
 /// `base·2^attempt` up to the cap, each drawn uniformly from
@@ -428,6 +431,15 @@ fn reader_loop(
 }
 
 /// Maintains the outgoing connection to one peer.
+///
+/// The hot path coalesces: after blocking on the first queued frame, it
+/// drains whatever else is queued (up to [`MAX_BATCH_FRAMES`] /
+/// [`MAX_BATCH_BYTES`]) and flushes the whole batch with one vectored
+/// write — a saturated pipeline pays one syscall for dozens of frames.
+/// Idle costs nothing: the wait is a plain blocking `recv`, woken only by
+/// traffic or the explicit [`SendCmd::Stop`] teardown message (no
+/// timeout polling). Only while *disconnected* does the loop use a timed
+/// wait, sized to the backoff window, so re-dials happen even when idle.
 fn sender_loop(
     me: ServerId,
     peer: ServerId,
@@ -443,24 +455,31 @@ fn sender_loop(
     let connect_failures = metrics.counter(&format!("transport.connect_failures.{}", peer.0));
     let disconnects = metrics.counter(&format!("transport.disconnects.{}", peer.0));
     let queue_depth = metrics.gauge(&format!("transport.send_queue_depth.{}", peer.0));
+    let batch_frames = metrics.histogram(&format!("transport.batch_frames.{}", peer.0));
+    let batch_bytes = metrics.histogram(&format!("transport.batch_bytes.{}", peer.0));
     let mut conn: Option<TcpStream> = None;
     let mut backoff = Backoff::new(me, peer);
     let mut next_attempt = Instant::now();
+    let mut batch: Vec<Bytes> = Vec::with_capacity(MAX_BATCH_FRAMES);
     loop {
-        // While disconnected, wake exactly when the backoff allows the
-        // next dial; while connected, just re-check the stop flag
-        // occasionally (commands interrupt the wait either way).
-        let wait = if conn.is_some() {
-            IDLE_CHECK
+        let cmd = if conn.is_some() {
+            // Connected: block until traffic or Stop.
+            match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            }
         } else {
-            next_attempt
+            // Disconnected: wake exactly when the backoff allows the next
+            // dial — also while idle, so the first real send after a peer
+            // returns doesn't pay the dial latency.
+            let wait = next_attempt
                 .saturating_duration_since(Instant::now())
-                .clamp(Duration::from_millis(1), IDLE_CHECK)
-        };
-        let cmd = match rx.recv_timeout(wait) {
-            Ok(cmd) => Some(cmd),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                .max(Duration::from_millis(1));
+            match rx.recv_timeout(wait) {
+                Ok(cmd) => Some(cmd),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
         };
         if stop.load(Ordering::SeqCst) {
             return;
@@ -470,8 +489,6 @@ fn sender_loop(
         }
         // Racy-but-cheap depth sample; diagnostics only.
         queue_depth.set(rx.len() as i64);
-        // (Re)dial when the backoff window has elapsed — also while idle,
-        // so the first real send doesn't pay the dial latency.
         if conn.is_none() && Instant::now() >= next_attempt {
             match try_connect(me, addr) {
                 Ok(stream) => {
@@ -491,43 +508,89 @@ fn sender_loop(
                 }
             }
         }
-        if let Some(SendCmd::Msg(payload)) = cmd {
-            let Some(stream) = conn.as_mut() else {
-                // Unreachable (dial failed or backoff pending): drop the
-                // message; the protocol resynchronizes when the peer
-                // returns.
-                continue;
-            };
-            if write_frame(stream, &payload).is_err() {
-                conn = None;
-                // One immediate re-dial on a broken write, then backoff.
-                next_attempt = Instant::now();
-                disconnects.inc();
-                let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
-            } else {
-                frames_out.inc();
-                bytes_out.add((HEADER_LEN + payload.len()) as u64);
+        let Some(SendCmd::Msg(payload)) = cmd else { continue };
+        if conn.is_none() {
+            // Unreachable (dial failed or backoff pending): drop the
+            // message; the protocol resynchronizes when the peer returns.
+            continue;
+        }
+        // Coalesce: drain whatever queued behind the first frame, FIFO
+        // order preserved.
+        batch.clear();
+        let mut body_bytes = payload.len();
+        batch.push(payload);
+        let mut stop_after_flush = false;
+        while batch.len() < MAX_BATCH_FRAMES && body_bytes < MAX_BATCH_BYTES {
+            match rx.try_recv() {
+                Ok(SendCmd::Msg(p)) => {
+                    body_bytes += p.len();
+                    batch.push(p);
+                }
+                Ok(SendCmd::Stop) => {
+                    // Flush what's already drained, then exit.
+                    stop_after_flush = true;
+                    break;
+                }
+                Err(_) => break,
             }
+        }
+        let stream = conn.as_mut().expect("connected");
+        if write_batch(stream, &batch).is_err() {
+            conn = None;
+            // One immediate re-dial on a broken write, then backoff.
+            next_attempt = Instant::now();
+            disconnects.inc();
+            let _ = events_tx.send(TransportEvent::PeerDisconnected { peer });
+        } else {
+            let wire_bytes = (body_bytes + HEADER_LEN * batch.len()) as u64;
+            frames_out.add(batch.len() as u64);
+            bytes_out.add(wire_bytes);
+            batch_frames.record(batch.len() as u64);
+            batch_bytes.record(wire_bytes);
+        }
+        if stop_after_flush {
+            return;
         }
     }
 }
 
-/// Writes one frame (computed header + payload) with vectored I/O: the
-/// frame is never assembled in a contiguous buffer.
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
-    let header = frame_header(&[payload]);
-    let total = HEADER_LEN + payload.len();
-    let mut written = 0;
-    while written < total {
-        let res = if written < HEADER_LEN {
-            let iov = [IoSlice::new(&header[written..]), IoSlice::new(payload)];
-            stream.write_vectored(&iov)
+/// Writes a batch of frames with vectored I/O: every frame's computed
+/// header and payload are interleaved into one iovec, so a full batch
+/// normally costs a single syscall and no frame is ever assembled in a
+/// contiguous buffer. Handles partial writes by resuming mid-buffer.
+fn write_batch(stream: &mut TcpStream, payloads: &[Bytes]) -> io::Result<()> {
+    let headers: Vec<[u8; HEADER_LEN]> = payloads.iter().map(|p| frame_header(&[&p[..]])).collect();
+    // Logical buffer sequence: h0, p0, h1, p1, ...
+    let buf_at = |i: usize| -> &[u8] {
+        if i.is_multiple_of(2) {
+            &headers[i / 2]
         } else {
-            stream.write(&payload[written - HEADER_LEN..])
-        };
-        match res {
+            &payloads[i / 2]
+        }
+    };
+    let nbufs = payloads.len() * 2;
+    let mut idx = 0; // first buffer not fully written
+    let mut off = 0; // bytes of buf_at(idx) already written
+    let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(nbufs);
+    while idx < nbufs {
+        iov.clear();
+        iov.push(IoSlice::new(&buf_at(idx)[off..]));
+        iov.extend((idx + 1..nbufs).map(|i| IoSlice::new(buf_at(i))));
+        match stream.write_vectored(&iov) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => written += n,
+            Ok(mut n) => {
+                while n > 0 {
+                    let remaining = buf_at(idx).len() - off;
+                    if n >= remaining {
+                        n -= remaining;
+                        idx += 1;
+                        off = 0;
+                    } else {
+                        off += n;
+                        n = 0;
+                    }
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
@@ -741,13 +804,16 @@ mod tests {
         }
         for c in 1..=count {
             let txn = Txn::new(Zxid::new(Epoch(1), c), c.to_le_bytes().to_vec());
-            mesh[0].send(ServerId(2), TransportMsg::Zab(Message::Propose { txn }));
+            mesh[0].send(
+                ServerId(2),
+                TransportMsg::Zab(Message::Propose { txn, commit_up_to: Zxid::ZERO }),
+            );
         }
         let mut seen = 0u32;
         let deadline = Instant::now() + Duration::from_secs(10);
         while seen < count && Instant::now() < deadline {
             if let Some(TransportEvent::Message {
-                msg: TransportMsg::Zab(Message::Propose { txn }),
+                msg: TransportMsg::Zab(Message::Propose { txn, commit_up_to: Zxid::ZERO }),
                 ..
             }) = wait_msg(&mesh[1], Duration::from_millis(500))
             {
@@ -756,6 +822,19 @@ mod tests {
             }
         }
         assert_eq!(seen, count, "lost messages on a healthy connection");
+
+        // The burst flowed through the coalescing sender: the per-batch
+        // histograms must account for exactly the frames and bytes the
+        // counters saw (every frame left in some batch, never outside one).
+        let snap = mesh[0].metrics().snapshot();
+        let frames = snap.counter("transport.frames_out.2");
+        let bytes = snap.counter("transport.bytes_out.2");
+        let bf = snap.histogram("transport.batch_frames.2").cloned().unwrap_or_default();
+        let bb = snap.histogram("transport.batch_bytes.2").cloned().unwrap_or_default();
+        assert_eq!(bf.sum, frames, "batch_frames histogram must cover every frame");
+        assert!(bf.count >= 1 && bf.count <= frames, "batches outnumber frames");
+        assert_eq!(bb.sum, bytes, "batch_bytes histogram must cover every byte");
+        assert!(bf.max as usize <= MAX_BATCH_FRAMES, "batch exceeded the frame cap");
     }
 
     #[test]
@@ -775,10 +854,10 @@ mod tests {
     #[test]
     fn encode_round_trips_through_decode() {
         let txn = Txn::new(Zxid::new(Epoch(2), 9), Bytes::from(vec![0xAB; 4096]));
-        let msg = TransportMsg::Zab(Message::Propose { txn });
+        let msg = TransportMsg::Zab(Message::Propose { txn, commit_up_to: Zxid::ZERO });
         let encoded = msg.encode();
         match TransportMsg::decode(encoded).expect("decodes") {
-            TransportMsg::Zab(Message::Propose { txn }) => {
+            TransportMsg::Zab(Message::Propose { txn, commit_up_to: Zxid::ZERO }) => {
                 assert_eq!(txn.zxid, Zxid::new(Epoch(2), 9));
                 assert_eq!(txn.data.as_ref(), &[0xAB; 4096][..]);
             }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use zab_wire::codec::{WireRead, WireWrite};
 use zab_wire::crc32c::{crc32c, Crc32c};
-use zab_wire::frame::{encode_frame, FrameDecoder};
+use zab_wire::frame::{encode_frame, frame_header, FrameDecoder};
 
 proptest! {
     #[test]
@@ -88,6 +88,51 @@ proptest! {
             }
         }
         prop_assert_eq!(got, payloads);
+    }
+
+    /// Coalesced batch writes (the transport sender's vectored layout:
+    /// `frame_header` + payload per frame, many frames per write, writes
+    /// split at arbitrary byte boundaries) decode to exactly the same
+    /// payload sequence as one frame per write.
+    #[test]
+    fn coalesced_batches_decode_identically_to_single_writes(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..16),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        // Reference: one frame per write through its own extend().
+        let mut reference = Vec::new();
+        {
+            let mut dec = FrameDecoder::new();
+            for p in &payloads {
+                dec.extend(&encode_frame(p));
+                while let Some(frame) = dec.next_frame().expect("no corruption") {
+                    reference.push(frame);
+                }
+            }
+        }
+
+        // Batched: the sender's iovec sequence h0,p0,h1,p1,... flattened,
+        // then re-cut at random points to model partial write_vectored
+        // progress and TCP segmentation.
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&frame_header(&[&p[..]]));
+            wire.extend_from_slice(p);
+        }
+        let mut points: Vec<usize> = cuts.iter().map(|i| i.index(wire.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for p in points.into_iter().chain(std::iter::once(wire.len())) {
+            dec.extend(&wire[prev..p]);
+            prev = p;
+            while let Some(frame) = dec.next_frame().expect("no corruption") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, reference);
     }
 
     /// A corrupted byte anywhere in a frame is detected (or the frame
