@@ -15,8 +15,12 @@
 //! work. `--quick` shrinks every axis for CI smoke (schema-identical
 //! output).
 //!
-//! Run: `cargo run --release -p zab-bench --bin broadcast_bench [--quick]`
+//! Run: `cargo run --release -p zab-bench --bin broadcast_bench
+//! [--quick] [--trace-out PATH]`
 //! Output: `BENCH_broadcast.json` at the repo root (`BENCH_OUT` overrides).
+//! With `--trace-out`, the merged flight-recorder dump of the 3-node
+//! saturation run is written to PATH as Chrome trace-event JSON
+//! (Perfetto loadable) and a per-stage latency breakdown is printed.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
@@ -25,6 +29,7 @@ use std::time::{Duration, Instant};
 use zab_bench::{fmt_f, print_header};
 use zab_core::ServerId;
 use zab_node::{apps::BytesApp, NodeConfig, NodeEvent, Replica, Role};
+use zab_trace::{chrome_trace_json, merge, stage_deltas, TraceEvent};
 
 const PAYLOAD: usize = 1024;
 
@@ -274,8 +279,35 @@ fn out_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_broadcast.json")
 }
 
+/// Prints the mean latency of every adjacent stage transition observed in
+/// `events` (one line per `node / from→to` pair with ≥ 1 sample): where a
+/// transaction's wall time actually goes, broken down by pipeline stage.
+fn print_stage_breakdown(events: &[TraceEvent]) {
+    let mut agg: BTreeMap<(u64, &'static str, &'static str), (u64, u64)> = BTreeMap::new();
+    for d in stage_deltas(events) {
+        let e = agg.entry((d.node, d.from.as_str(), d.to.as_str())).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += d.delta_us;
+    }
+    if agg.is_empty() {
+        println!("  (no stage transitions recorded)");
+        return;
+    }
+    print_header(&["node", "transition", "samples", "mean (µs)"]);
+    for ((node, from, to), (count, sum_us)) in agg {
+        println!("| {node} | {from} → {to} | {count} | {} |", fmt_f(sum_us as f64 / count as f64));
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace_out: Option<PathBuf> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
     // Axis sizes: --quick is the CI smoke (schema-identical, seconds);
     // the full run is the EXPERIMENTS.md record.
     let (ensemble_sizes, sat_ops, windows, load_fractions, load_secs): (
@@ -296,12 +328,29 @@ fn main() {
     print_header(&["servers", "window", "ops/s", "p50 (ms)", "p99 (ms)"]);
     let mut fig1 = Vec::new();
     let mut sat3 = 0.0f64;
+    let mut sat3_traces: Vec<TraceEvent> = Vec::new();
+    let mut commit_quantiles_ms = (0u64, 0u64, 0u64);
     for &n in ensemble_sizes {
         let cluster = Cluster::start(n, 1000);
         let m = run_closed_loop(&cluster, SAT_WINDOW, sat_ops);
         let (tput, p50, p99) = (m.ops_per_sec(), m.percentile_ms(0.50), m.percentile_ms(0.99));
         if n == 3 {
             sat3 = tput;
+            // Histogram-side commit latency (leader's own measurement,
+            // independent of the closed loop's client-side stopwatch).
+            if let Some(h) = cluster.leader().metrics_snapshot().histogram("node.commit_latency_ms")
+            {
+                commit_quantiles_ms = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            }
+            // Flight-recorder dump of the saturation run, and the memory
+            // bound it must honor even at full load.
+            for r in cluster.replicas.values() {
+                assert!(
+                    r.trace_events().len() <= r.trace_recorder().max_resident_events(),
+                    "flight recorder exceeded its configured memory bound under saturation"
+                );
+            }
+            sat3_traces = merge(cluster.replicas.values().map(|r| r.trace_events()).collect());
         }
         println!("| {n} | {SAT_WINDOW} | {} | {} | {} |", fmt_f(tput), fmt_f(p50), fmt_f(p99));
         fig1.push(Row {
@@ -363,9 +412,14 @@ fn main() {
         });
     }
 
+    // Schema-additive: the histogram-side commit quantiles ride along
+    // under a new key; every v1 consumer keeps parsing.
+    let (q50, q95, q99) = commit_quantiles_ms;
     let json = format!(
         "{{\n  \"schema\": \"zab-broadcast-bench/v1\",\n  \"quick\": {quick},\n  \
-         \"payload_bytes\": {PAYLOAD},\n  \"throughput_vs_ensemble\": {},\n  \
+         \"payload_bytes\": {PAYLOAD},\n  \
+         \"commit_latency_quantiles_ms\": {{\"p50\": {q50}, \"p95\": {q95}, \"p99\": {q99}}},\n  \
+         \"throughput_vs_ensemble\": {},\n  \
          \"latency_vs_load\": {},\n  \"throughput_vs_outstanding\": {}\n}}\n",
         rows_to_json(&fig1),
         rows_to_json(&fig2),
@@ -374,4 +428,16 @@ fn main() {
     let path = out_path();
     std::fs::write(&path, json).expect("write BENCH_broadcast.json");
     println!("\nwrote {}", path.display());
+    println!("commit latency (leader histogram): p50 {q50} ms, p95 {q95} ms, p99 {q99} ms");
+
+    if let Some(trace_path) = trace_out {
+        println!("\nstage-latency breakdown (3-server saturation run)\n");
+        print_stage_breakdown(&sat3_traces);
+        std::fs::write(&trace_path, chrome_trace_json(&sat3_traces)).expect("write trace");
+        println!(
+            "\nwrote {} ({} trace events; load in Perfetto / chrome://tracing)",
+            trace_path.display(),
+            sat3_traces.len()
+        );
+    }
 }

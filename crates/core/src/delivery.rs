@@ -9,6 +9,7 @@ use crate::events::Action;
 use crate::history::History;
 use crate::metrics::CoreMetrics;
 use crate::types::Zxid;
+use zab_trace::{Stage, Tracer};
 
 /// Emits `Deliver` actions for every committed-but-undelivered transaction,
 /// advancing `delivered_to`.
@@ -17,11 +18,13 @@ use crate::types::Zxid;
 /// moves forward, and a transaction is emitted only when the committed
 /// watermark has reached it. Each delivery bumps
 /// `metrics.proposals_committed`, the counter the e2e and chaos tests
-/// compare across replicas.
+/// compare across replicas, and records a [`Stage::Deliver`] flight-recorder
+/// event — the terminal point of every zxid's causal timeline.
 pub fn deliver_committed(
     history: &History,
     delivered_to: &mut Zxid,
     metrics: &CoreMetrics,
+    tracer: &Tracer,
     out: &mut Vec<Action>,
 ) {
     let target = history.last_committed();
@@ -38,6 +41,7 @@ pub fn deliver_committed(
             txn.zxid,
             delivered_to
         );
+        tracer.instant(Stage::Deliver, txn.zxid.0, 0);
         out.push(Action::Deliver { txn: txn.clone() });
         metrics.proposals_committed.inc();
         *delivered_to = txn.zxid;
@@ -72,7 +76,13 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 3));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
+        deliver_committed(
+            &h,
+            &mut watermark,
+            &CoreMetrics::standalone(),
+            &Tracer::disabled(),
+            &mut out,
+        );
         assert_eq!(delivered(&out), (1..=3).map(|c| Zxid::new(Epoch(1), c)).collect::<Vec<_>>());
         assert_eq!(watermark, Zxid::new(Epoch(1), 3));
     }
@@ -83,9 +93,21 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 2));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
+        deliver_committed(
+            &h,
+            &mut watermark,
+            &CoreMetrics::standalone(),
+            &Tracer::disabled(),
+            &mut out,
+        );
         out.clear();
-        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
+        deliver_committed(
+            &h,
+            &mut watermark,
+            &CoreMetrics::standalone(),
+            &Tracer::disabled(),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -95,10 +117,22 @@ mod tests {
         h.mark_committed(Zxid::new(Epoch(1), 2));
         let mut watermark = Zxid::ZERO;
         let mut out = Vec::new();
-        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
+        deliver_committed(
+            &h,
+            &mut watermark,
+            &CoreMetrics::standalone(),
+            &Tracer::disabled(),
+            &mut out,
+        );
         h.mark_committed(Zxid::new(Epoch(1), 4));
         out.clear();
-        deliver_committed(&h, &mut watermark, &CoreMetrics::standalone(), &mut out);
+        deliver_committed(
+            &h,
+            &mut watermark,
+            &CoreMetrics::standalone(),
+            &Tracer::disabled(),
+            &mut out,
+        );
         assert_eq!(delivered(&out), vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]);
     }
 }

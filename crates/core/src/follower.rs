@@ -24,6 +24,7 @@ use crate::messages::Message;
 use crate::metrics::CoreMetrics;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
 use std::collections::BTreeMap;
+use zab_trace::{Stage, Tracer};
 
 /// Externally visible follower phase, for tests and observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,9 @@ pub struct Follower {
     /// Instrument bundle (standalone by default; see
     /// [`Follower::set_metrics`]).
     metrics: CoreMetrics,
+    /// Flight recorder handle (disabled by default; see
+    /// [`Follower::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl Follower {
@@ -116,6 +120,7 @@ impl Follower {
             next_token: 0,
             pending: BTreeMap::new(),
             metrics: CoreMetrics::standalone(),
+            tracer: Tracer::disabled(),
         };
         let actions = vec![Action::Send {
             to: leader,
@@ -137,6 +142,13 @@ impl Follower {
     /// construction, before driving inputs.
     pub fn set_metrics(&mut self, metrics: CoreMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Injects the flight-recorder handle this automaton records lifecycle
+    /// events into (watermark-advance, deliver). Call right after
+    /// construction, before driving inputs.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The leader this incarnation follows.
@@ -422,7 +434,7 @@ impl Follower {
             self.history.mark_committed(capped);
         }
         self.phase = Phase::Broadcasting;
-        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, &self.tracer, out);
         out.push(Action::Activated { epoch: self.current_epoch });
     }
 
@@ -437,8 +449,15 @@ impl Follower {
     fn advance_watermark(&mut self, watermark: Zxid, out: &mut Vec<Action>) {
         let capped = watermark.min(self.history.last_zxid());
         if capped > self.history.last_committed() {
+            self.tracer.instant(Stage::WatermarkAdvance, capped.0, 0);
             self.history.mark_committed(capped);
-            deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+            deliver_committed(
+                &self.history,
+                &mut self.delivered_to,
+                &self.metrics,
+                &self.tracer,
+                out,
+            );
         }
     }
 
@@ -476,8 +495,15 @@ impl Follower {
             return;
         }
         if zxid > self.history.last_committed() {
+            self.tracer.instant(Stage::WatermarkAdvance, zxid.0, 0);
             self.history.mark_committed(zxid);
-            deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+            deliver_committed(
+                &self.history,
+                &mut self.delivered_to,
+                &self.metrics,
+                &self.tracer,
+                out,
+            );
         }
     }
 

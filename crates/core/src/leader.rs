@@ -34,6 +34,7 @@ use crate::metrics::CoreMetrics;
 use crate::types::{Epoch, ServerId, Txn, Zxid};
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use zab_trace::{Stage, Tracer};
 
 /// Externally visible leader phase, for tests and observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +139,9 @@ pub struct Leader {
     pending: BTreeMap<PersistToken, Pending>,
     /// Instrument bundle (standalone by default; see [`Leader::set_metrics`]).
     metrics: CoreMetrics,
+    /// Flight recorder handle (disabled by default; see
+    /// [`Leader::set_tracer`]).
+    tracer: Tracer,
     /// Propose time (driver ms) per in-flight own-epoch proposal, for the
     /// quorum-ack latency histogram. Bounded by the outstanding window and
     /// discarded with the incarnation.
@@ -188,6 +192,7 @@ impl Leader {
             next_token: 0,
             pending: BTreeMap::new(),
             metrics: CoreMetrics::standalone(),
+            tracer: Tracer::disabled(),
             propose_times: BTreeMap::new(),
         };
         let mut out = Vec::new();
@@ -206,6 +211,13 @@ impl Leader {
     /// construction, before driving inputs.
     pub fn set_metrics(&mut self, metrics: CoreMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Injects the flight-recorder handle this automaton records lifecycle
+    /// events into (propose-enqueue, ack-rx, quorum, commit-out, deliver).
+    /// Call right after construction, before driving inputs.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The epoch this leader is establishing or has established.
@@ -640,7 +652,7 @@ impl Leader {
         if initial_end > self.history.last_committed() {
             self.history.mark_committed(initial_end);
         }
-        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, &self.tracer, out);
         out.push(Action::Activated { epoch: self.epoch });
         let acked: Vec<ServerId> = self
             .peers
@@ -710,6 +722,7 @@ impl Leader {
             self.outstanding += 1;
             pumped += 1;
             self.metrics.proposals_proposed.inc();
+            self.tracer.instant(Stage::ProposeEnqueue, zxid.0, 0);
             self.propose_times.insert(zxid, self.now_ms);
             let token = self.token(Pending::SelfAck(zxid));
             out.push(Action::Persist { token, req: PersistRequest::AppendTxns(vec![txn.clone()]) });
@@ -734,6 +747,7 @@ impl Leader {
 
     fn on_ack(&mut self, from: ServerId, zxid: Zxid, out: &mut Vec<Action>) {
         self.metrics.acks_received.inc();
+        self.tracer.instant(Stage::AckRx, zxid.0, from.0);
         if zxid > self.history.last_zxid() {
             self.abdicate("ack beyond proposed history", out);
             return;
@@ -829,17 +843,21 @@ impl Leader {
             if let Some(proposed_ms) = self.propose_times.remove(&txn.zxid) {
                 self.metrics.quorum_ack_latency_ms.record(self.now_ms.saturating_sub(proposed_ms));
             }
+            self.tracer.instant(Stage::Quorum, txn.zxid.0, 0);
             out.push(Action::Committed { zxid: txn.zxid });
         }
         self.metrics.outstanding_depth.set(self.outstanding as i64);
         self.history.mark_committed(z);
-        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, out);
+        deliver_committed(&self.history, &mut self.delivered_to, &self.metrics, &self.tracer, out);
         // One cumulative COMMIT per quorum crossing — and none at all when
         // the window reopens and new proposals go out in this same
         // `handle()` call: every PROPOSE piggybacks the watermark, so the
         // standalone frame would be pure overhead on a saturated pipeline.
         // (`broadcast` and `pump_proposals` reach the same peer set, so a
         // pumped proposal implies every active and syncing peer saw `z`.)
+        // The watermark reaches the followers either way (standalone COMMIT
+        // or piggybacked on the pumped PROPOSEs).
+        self.tracer.instant(Stage::CommitOut, z.0, 0);
         if self.pump_proposals(out) == 0 {
             self.broadcast(Message::Commit { zxid: z }, out);
         }

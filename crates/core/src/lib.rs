@@ -122,6 +122,16 @@ impl Zab {
         }
     }
 
+    /// Injects the flight-recorder handle the automaton records lifecycle
+    /// events into (see `zab-trace`). Call right after construction,
+    /// before driving inputs.
+    pub fn set_tracer(&mut self, tracer: zab_trace::Tracer) {
+        match self {
+            Zab::Leader(l) => l.set_tracer(tracer),
+            Zab::Follower(f) => f.set_tracer(tracer),
+        }
+    }
+
     /// This process's server id.
     pub fn id(&self) -> ServerId {
         match self {

@@ -61,6 +61,9 @@ pub struct FileStorage {
     /// Torn tails discarded during [`FileStorage::open`], latched so the
     /// count reaches whatever bundle is injected afterwards.
     recovery_truncations: u64,
+    /// Zxid range appended since the last flush, for fsync span
+    /// attribution in the flight recorder.
+    pending_flush_range: Option<(Zxid, Zxid)>,
 }
 
 impl FileStorage {
@@ -145,6 +148,7 @@ impl FileStorage {
             faults: None,
             metrics: LogMetrics::standalone(),
             recovery_truncations,
+            pending_flush_range: None,
         })
     }
 
@@ -317,9 +321,21 @@ impl Storage for FileStorage {
         }
         self.dirty = true;
         self.metrics.appends.inc();
-        self.metrics
-            .append_latency_us
-            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
+        let end_us = self.metrics.clock.now_micros();
+        self.metrics.append_latency_us.record(end_us.saturating_sub(start_us));
+        if let (Some(first), Some(last_txn)) = (txns.first(), txns.last()) {
+            self.metrics.tracer.span(
+                zab_trace::Stage::LogAppend,
+                first.zxid.0,
+                last_txn.zxid.0,
+                start_us,
+                end_us,
+            );
+            self.pending_flush_range = Some(match self.pending_flush_range {
+                None => (first.zxid, last_txn.zxid),
+                Some((lo, hi)) => (lo.min(first.zxid), hi.max(last_txn.zxid)),
+            });
+        }
         Ok(())
     }
 
@@ -356,6 +372,7 @@ impl Storage for FileStorage {
         if self.dirty {
             // Span: the fsync is the hot durability barrier group commit
             // amortizes; its latency distribution is the paper's disk cost.
+            let start_us = self.metrics.clock.now_micros();
             let span = zab_metrics::Span::start(
                 std::sync::Arc::clone(&self.metrics.flush_latency_us),
                 std::sync::Arc::clone(&self.metrics.clock),
@@ -364,6 +381,15 @@ impl Storage for FileStorage {
             self.dirty = false;
             self.metrics.fsyncs.inc();
             span.finish();
+            if let Some((lo, hi)) = self.pending_flush_range.take() {
+                self.metrics.tracer.span(
+                    zab_trace::Stage::LogFsync,
+                    lo.0,
+                    hi.0,
+                    start_us,
+                    self.metrics.clock.now_micros(),
+                );
+            }
         }
         Ok(())
     }

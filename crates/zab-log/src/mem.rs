@@ -94,6 +94,9 @@ pub struct MemStorage {
     /// Instrument bundle (standalone by default; see
     /// [`Storage::set_metrics`]).
     metrics: LogMetrics,
+    /// Zxid range appended since the last flush, for fsync span
+    /// attribution in the flight recorder.
+    pending_flush_range: Option<(Zxid, Zxid)>,
 }
 
 impl MemStorage {
@@ -169,9 +172,21 @@ impl Storage for MemStorage {
         }
         self.record(JournalOp::Append(txns.to_vec()));
         self.metrics.appends.inc();
-        self.metrics
-            .append_latency_us
-            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
+        let end_us = self.metrics.clock.now_micros();
+        self.metrics.append_latency_us.record(end_us.saturating_sub(start_us));
+        if let (Some(first), Some(txn_last)) = (txns.first(), txns.last()) {
+            self.metrics.tracer.span(
+                zab_trace::Stage::LogAppend,
+                first.zxid.0,
+                txn_last.zxid.0,
+                start_us,
+                end_us,
+            );
+            self.pending_flush_range = Some(match self.pending_flush_range {
+                None => (first.zxid, txn_last.zxid),
+                Some((lo, hi)) => (lo.min(first.zxid), hi.max(txn_last.zxid)),
+            });
+        }
         Ok(())
     }
 
@@ -201,9 +216,11 @@ impl Storage for MemStorage {
         }
         self.flush_count += 1;
         self.metrics.fsyncs.inc();
-        self.metrics
-            .flush_latency_us
-            .record(self.metrics.clock.now_micros().saturating_sub(start_us));
+        let end_us = self.metrics.clock.now_micros();
+        self.metrics.flush_latency_us.record(end_us.saturating_sub(start_us));
+        if let Some((lo, hi)) = self.pending_flush_range.take() {
+            self.metrics.tracer.span(zab_trace::Stage::LogFsync, lo.0, hi.0, start_us, end_us);
+        }
         Ok(())
     }
 

@@ -13,6 +13,7 @@
 use std::fmt;
 use std::sync::Arc;
 use zab_metrics::{Clock, Counter, Histogram, Registry, WallClock};
+use zab_trace::Tracer;
 
 /// Instrument bundle recorded by [`crate::MemStorage`] and
 /// [`crate::FileStorage`].
@@ -33,6 +34,9 @@ pub struct LogMetrics {
     pub injected_faults: Arc<Counter>,
     /// Time source for the latency histograms.
     pub clock: Arc<dyn Clock>,
+    /// Flight-recorder handle: append/fsync spans attributed to the zxid
+    /// range they cover (disabled by default).
+    pub tracer: Tracer,
 }
 
 impl fmt::Debug for LogMetrics {
@@ -58,6 +62,7 @@ impl LogMetrics {
             recovery_truncations: Arc::new(Counter::default()),
             injected_faults: Arc::new(Counter::default()),
             clock: Arc::new(WallClock::new()),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -71,6 +76,7 @@ impl LogMetrics {
             recovery_truncations: reg.counter("log.recovery_truncations"),
             injected_faults: reg.counter("log.injected_faults"),
             clock: Arc::new(WallClock::new()),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -78,6 +84,15 @@ impl LogMetrics {
     /// [`zab_metrics::ManualClock`]).
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> LogMetrics {
         self.clock = clock;
+        self
+    }
+
+    /// Attaches a flight-recorder handle; storage then records
+    /// append/fsync spans attributed to the zxid range of each batch.
+    /// The tracer should share the bundle's clock so span timestamps and
+    /// lifecycle events live on one timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> LogMetrics {
+        self.tracer = tracer;
         self
     }
 }

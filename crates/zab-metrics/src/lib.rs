@@ -314,6 +314,86 @@ impl Snapshot {
         out.push_str("}}");
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric, names mangled via
+    /// [`mangle_name`] (`.` → `_`), histograms as cumulative
+    /// `_bucket{le="..."}` series (monotone by construction) closed by
+    /// `le="+Inf"` equal to `_count`, plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for (k, v) in &self.counters {
+            let name = mangle_name(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let name = mangle_name(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let name = mangle_name(k);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for &(lo, n) in &h.buckets {
+                cum += n;
+                let ub = bucket_upper_bound(bucket_index(lo));
+                // The top bucket's upper edge is unbounded; it is covered
+                // by the mandatory +Inf series below.
+                if ub != u64::MAX {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{ub}\"}} {cum}");
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Mangles an instrument name (`layer.metric[_unit][.peer]`) into a valid
+/// Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other
+/// character becomes `_`, and a leading digit gains a `_` prefix.
+pub fn mangle_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitizes one dotted-key *component* (a peer id in the
+/// `layer.metric.peer` convention): anything outside `[A-Za-z0-9_-]` —
+/// most importantly `.`, which would make the key ambiguous to split —
+/// becomes `_`. An empty component becomes `_`.
+pub fn sanitize_component(component: &str) -> String {
+    if component.is_empty() {
+        return "_".to_string();
+    }
+    component
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// Builds a per-peer metric key `base.peer` with the peer component
+/// sanitized via [`sanitize_component`], so `layer.metric.peer` keys stay
+/// unambiguous to parse no matter what the peer id contains.
+pub fn peer_metric(base: &str, peer: impl std::fmt::Display) -> String {
+    format!("{base}.{}", sanitize_component(&peer.to_string()))
 }
 
 /// Minimal JSON string encoder (instrument names are ASCII identifiers,
@@ -705,5 +785,125 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("shared"), 4000);
         assert_eq!(snap.histogram("shared_h").map(|h| h.count), Some(4000));
+    }
+
+    #[test]
+    fn mangle_name_maps_dots_and_edge_cases() {
+        assert_eq!(mangle_name("core.proposals_committed"), "core_proposals_committed");
+        assert_eq!(mangle_name("transport.bytes_out.2"), "transport_bytes_out_2");
+        assert_eq!(mangle_name("weird name-here"), "weird_name_here");
+        assert_eq!(mangle_name("2fast"), "_2fast");
+        assert_eq!(mangle_name(""), "_");
+    }
+
+    #[test]
+    fn peer_component_with_dot_is_sanitized() {
+        // The bug: "transport.bytes_out" + peer "10.0.0.1" used to yield
+        // "transport.bytes_out.10.0.0.1" — ambiguous to split on '.'.
+        assert_eq!(peer_metric("transport.bytes_out", "10.0.0.1"), "transport.bytes_out.10_0_0_1");
+        assert_eq!(peer_metric("transport.frames_in", 3u64), "transport.frames_in.3");
+        assert_eq!(sanitize_component("a.b"), "a_b");
+        assert_eq!(sanitize_component("ok_name-7"), "ok_name-7");
+        assert_eq!(sanitize_component("sp ace/slash"), "sp_ace_slash");
+        assert_eq!(sanitize_component(""), "_");
+        // Sanitized keys split unambiguously: exactly one extra component.
+        let key = peer_metric("layer.metric", "evil.peer.name");
+        assert_eq!(key.matches('.').count(), "layer.metric".matches('.').count() + 1);
+    }
+
+    /// Minimal Prometheus text-format parser for the round-trip test:
+    /// returns `(metric_name, le_label_if_any, value)` per sample line.
+    fn parse_prometheus(text: &str) -> Vec<(String, Option<String>, f64)> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let value: f64 = value.parse().expect("numeric value");
+            let (name, le) = match name_part.split_once('{') {
+                None => (name_part.to_string(), None),
+                Some((n, rest)) => {
+                    let labels = rest.strip_suffix('}').expect("closed label set");
+                    let le = labels
+                        .strip_prefix("le=\"")
+                        .and_then(|s| s.strip_suffix('"'))
+                        .map(|s| s.to_string());
+                    assert!(le.is_some(), "only le labels are emitted: {line}");
+                    (n.to_string(), le)
+                }
+            };
+            out.push((name, le, value));
+        }
+        out
+    }
+
+    #[test]
+    fn prometheus_renderer_round_trips() {
+        let reg = Registry::new();
+        reg.counter("core.proposals_committed").add(42);
+        reg.gauge("node.commit_inflight").set(-3);
+        let h = reg.histogram("node.commit_latency_ms");
+        for v in [0, 1, 1, 3, 9, 200, 70_000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = snap.to_prometheus();
+
+        let samples = parse_prometheus(&text);
+        let get = |name: &str| -> f64 {
+            samples
+                .iter()
+                .find(|(n, le, _)| n == name && le.is_none())
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        assert_eq!(get("core_proposals_committed"), 42.0);
+        assert_eq!(get("node_commit_inflight"), -3.0);
+        assert_eq!(get("node_commit_latency_ms_count"), 7.0);
+        assert_eq!(get("node_commit_latency_ms_sum"), f64::from(1 + 1 + 3 + 9 + 200 + 70_000));
+
+        // Bucket series: le edges strictly increasing, cumulative counts
+        // monotone, and +Inf equals _count.
+        let buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|(n, le, _)| n == "node_commit_latency_ms_bucket" && le.is_some())
+            .map(|(_, le, v)| {
+                let le = le.as_deref().expect("le present");
+                let edge =
+                    if le == "+Inf" { f64::INFINITY } else { le.parse().expect("numeric le") };
+                (edge, *v)
+            })
+            .collect();
+        assert!(buckets.len() >= 2, "expected several buckets, got {buckets:?}");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "le edges not monotone");
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "cumulative counts not monotone");
+        let (last_edge, last_cum) = buckets[buckets.len() - 1];
+        assert_eq!(last_edge, f64::INFINITY, "bucket series must end at +Inf");
+        assert_eq!(last_cum, 7.0, "+Inf bucket must equal _count");
+
+        // Every non-comment line lints as `name[{le="..."}] value`.
+        for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().expect("name");
+            assert!(
+                !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                    && !name.starts_with(|c: char| c.is_ascii_digit()),
+                "invalid exposition name in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_types_precede_samples() {
+        let reg = Registry::new();
+        reg.counter("a.count").inc();
+        reg.histogram("b.lat_us").record(5);
+        let text = reg.snapshot().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let type_a = lines.iter().position(|l| *l == "# TYPE a_count counter").expect("TYPE a");
+        let sample_a = lines.iter().position(|l| *l == "a_count 1").expect("sample a");
+        assert!(type_a < sample_a);
+        assert!(lines.contains(&"# TYPE b_lat_us histogram"));
     }
 }

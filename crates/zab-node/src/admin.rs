@@ -1,0 +1,385 @@
+//! Admin HTTP endpoint: live telemetry over plain HTTP/1.0.
+//!
+//! One background thread serves three read-only routes from a
+//! stdlib [`TcpListener`] (no framework, no new dependencies):
+//!
+//! - `GET /metrics` — the replica's full [`zab_metrics::Snapshot`] in
+//!   Prometheus text exposition format,
+//! - `GET /health` — role, epoch, last-committed zxid, and per-peer
+//!   reachability as one JSON object,
+//! - `GET /trace?last=N` — the flight recorder's current contents as
+//!   Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`),
+//!   optionally limited to the newest `N` events.
+//!
+//! The endpoint is unauthenticated and read-only; [`crate::NodeConfig`]
+//! documents that it should bind loopback unless the network is trusted.
+
+use crate::replica::Role;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use zab_metrics::Registry;
+use zab_trace::{chrome_trace_json, zxid_display, Recorder};
+
+/// Accept-loop poll cadence (the listener is non-blocking so the thread
+/// can notice the stop flag).
+const POLL_DELAY: Duration = Duration::from_millis(5);
+/// Request-header cap; anything longer is dropped without a response.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Health facts only the event loop knows, shared with the admin thread.
+/// The loop updates it as events arrive; `GET /health` reads it.
+#[derive(Debug, Default)]
+pub(crate) struct HealthState {
+    /// Highest zxid this replica has committed (packed form).
+    pub last_committed: u64,
+    /// Per-peer reachability, keyed by server id.
+    pub peers: BTreeMap<u64, PeerHealth>,
+}
+
+/// What this replica currently knows about one peer's channel.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PeerHealth {
+    /// True once traffic has arrived from the peer and its channel has
+    /// not broken since.
+    pub reachable: bool,
+    /// Consecutive failed outgoing dials (0 while connected).
+    pub failed_attempts: u32,
+}
+
+impl HealthState {
+    /// Fresh state tracking `peers` (self excluded by the caller).
+    pub fn new(peers: impl IntoIterator<Item = u64>) -> HealthState {
+        HealthState {
+            last_committed: 0,
+            peers: peers.into_iter().map(|p| (p, PeerHealth::default())).collect(),
+        }
+    }
+
+    /// Traffic arrived from `peer`: it is reachable.
+    pub fn peer_ok(&mut self, peer: u64) {
+        let entry = self.peers.entry(peer).or_default();
+        entry.reachable = true;
+        entry.failed_attempts = 0;
+    }
+
+    /// The channel to/from `peer` broke.
+    pub fn peer_down(&mut self, peer: u64) {
+        self.peers.entry(peer).or_default().reachable = false;
+    }
+
+    /// An outgoing dial to `peer` failed (`attempt` consecutive so far).
+    pub fn peer_failed(&mut self, peer: u64, attempt: u32) {
+        let entry = self.peers.entry(peer).or_default();
+        entry.reachable = false;
+        entry.failed_attempts = attempt.saturating_add(1);
+    }
+}
+
+/// The background HTTP responder. Dropping it stops the thread.
+pub(crate) struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (port 0 picks a free port) and starts serving.
+    pub fn start(
+        addr: SocketAddr,
+        node: u64,
+        metrics: Arc<Registry>,
+        recorder: Arc<Recorder>,
+        role: Arc<Mutex<Role>>,
+        health: Arc<Mutex<HealthState>>,
+    ) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            serve_loop(listener, thread_stop, node, metrics, recorder, role, health);
+        });
+        Ok(AdminServer { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    node: u64,
+    metrics: Arc<Registry>,
+    recorder: Arc<Recorder>,
+    role: Arc<Mutex<Role>>,
+    health: Arc<Mutex<HealthState>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                handle_conn(stream, node, &metrics, &recorder, &role, &health);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_DELAY);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    node: u64,
+    metrics: &Registry,
+    recorder: &Recorder,
+    role: &Mutex<Role>,
+    health: &Mutex<HealthState>,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    // Read until the header terminator; requests are a handful of lines.
+    loop {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let Some(line) = request.lines().next() else { return };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n");
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let body = metrics.snapshot().to_prometheus();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/health" => {
+            let body = health_json(node, role, health);
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/trace" => {
+            let body = trace_json(recorder, query);
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        _ => {
+            respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics, /health, /trace?last=N\n",
+            );
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+fn health_json(node: u64, role: &Mutex<Role>, health: &Mutex<HealthState>) -> String {
+    let role = *role.lock();
+    let (last_committed, peers) = {
+        let h = health.lock();
+        (h.last_committed, h.peers.clone())
+    };
+    // `active` means "serving its role": an established leader or a
+    // synced follower. `leader` is null while looking or faulted.
+    let (role_str, active, leader) = match role {
+        Role::Looking => ("looking", false, None),
+        Role::Leading { established, .. } => ("leading", established, Some(node)),
+        Role::Following { leader, active } => ("following", active, Some(leader.0)),
+        Role::Faulted => ("faulted", false, None),
+    };
+    let epoch = match role {
+        Role::Leading { epoch, .. } => u64::from(epoch.0),
+        _ => last_committed >> 32,
+    };
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"node\":{node},\"role\":\"{role_str}\",\"active\":{active},\"epoch\":{epoch},\"leader\":"
+    );
+    match leader {
+        Some(l) => {
+            let _ = write!(out, "{l}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"last_committed\":\"{}\",\"last_committed_zxid\":{last_committed},\"peers\":{{",
+        zxid_display(last_committed)
+    );
+    for (i, (peer, ph)) in peers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{peer}\":{{\"reachable\":{},\"failed_attempts\":{}}}",
+            ph.reachable, ph.failed_attempts
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+fn trace_json(recorder: &Recorder, query: Option<&str>) -> String {
+    let mut events = recorder.snapshot();
+    if let Some(last) = query.and_then(parse_last) {
+        if events.len() > last {
+            events.drain(..events.len() - last);
+        }
+    }
+    chrome_trace_json(&events)
+}
+
+/// Extracts `last=N` from a query string; other parameters are ignored.
+fn parse_last(query: &str) -> Option<usize> {
+    query.split('&').find_map(|kv| kv.strip_prefix("last=")).and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zab_metrics::ManualClock;
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+        (head.to_string(), body.to_string())
+    }
+
+    fn server() -> (AdminServer, Arc<Recorder>, Arc<Mutex<HealthState>>) {
+        let metrics = Arc::new(Registry::new());
+        metrics.counter("core.proposals_proposed").add(7);
+        metrics.histogram("node.commit_latency_ms").record(3);
+        let clock = Arc::new(ManualClock::new());
+        clock.set_micros(10);
+        let recorder = Recorder::new(1, 16, clock);
+        recorder.record(zab_trace::Stage::Submit, (4 << 32) | 1, 0);
+        recorder.record(zab_trace::Stage::Deliver, (4 << 32) | 1, 0);
+        let role = Arc::new(Mutex::new(Role::Looking));
+        let health = Arc::new(Mutex::new(HealthState::new([2, 3])));
+        let server = AdminServer::start(
+            "127.0.0.1:0".parse().expect("addr"),
+            1,
+            metrics,
+            Arc::clone(&recorder),
+            role,
+            Arc::clone(&health),
+        )
+        .expect("bind");
+        (server, recorder, health)
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let (server, _, _) = server();
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "head: {head}");
+        assert!(body.contains("core_proposals_proposed 7"), "body: {body}");
+        assert!(body.contains("node_commit_latency_ms_count 1"), "body: {body}");
+    }
+
+    #[test]
+    fn health_route_serves_json_with_peers() {
+        let (server, _, health) = server();
+        health.lock().peer_ok(2);
+        health.lock().peer_failed(3, 4);
+        health.lock().last_committed = (4 << 32) | 9;
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(body.contains("\"role\":\"looking\""), "body: {body}");
+        assert!(body.contains("\"last_committed\":\"4:9\""), "body: {body}");
+        assert!(body.contains("\"2\":{\"reachable\":true,\"failed_attempts\":0}"), "body: {body}");
+        assert!(body.contains("\"3\":{\"reachable\":false,\"failed_attempts\":5}"), "body: {body}");
+    }
+
+    #[test]
+    fn trace_route_serves_chrome_json_and_honors_last() {
+        let (server, _, _) = server();
+        let (head, body) = get(server.addr(), "/trace");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(body.starts_with("{\"traceEvents\":["), "body: {body}");
+        assert!(body.contains("\"submit\""), "body: {body}");
+        let (_, limited) = get(server.addr(), "/trace?last=1");
+        assert!(!limited.contains("\"submit\""), "limited: {limited}");
+        assert!(limited.contains("\"deliver\""), "limited: {limited}");
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_post_is_405() {
+        let (server, _, _) = server();
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "head: {head}");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 405"), "response: {response}");
+    }
+
+    #[test]
+    fn parse_last_picks_out_the_parameter() {
+        assert_eq!(parse_last("last=5"), Some(5));
+        assert_eq!(parse_last("foo=1&last=12"), Some(12));
+        assert_eq!(parse_last("foo=1"), None);
+        assert_eq!(parse_last("last=nope"), None);
+    }
+}

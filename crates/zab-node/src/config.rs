@@ -38,6 +38,16 @@ pub struct NodeConfig {
     /// (default) tracks the protocol window
     /// ([`ClusterConfig::max_outstanding`]).
     pub submit_window: Option<usize>,
+    /// Serve the admin HTTP endpoint (`GET /metrics`, `GET /health`,
+    /// `GET /trace?last=N`) on this address; `None` (default) disables
+    /// it. The endpoint is unauthenticated — bind loopback
+    /// (`127.0.0.1:...`) unless the network is trusted.
+    pub admin_addr: Option<SocketAddr>,
+    /// Flight-recorder ring capacity, in events per recording thread:
+    /// each thread that records keeps its newest `trace_capacity`
+    /// events, overwriting the oldest, so recorder memory stays bounded
+    /// at `threads × trace_capacity × size_of::<TraceEvent>()`.
+    pub trace_capacity: usize,
 }
 
 impl NodeConfig {
@@ -61,6 +71,8 @@ impl NodeConfig {
             metrics_dump_path: None,
             metrics_dump_every_ms: 1000,
             submit_window: None,
+            admin_addr: None,
+            trace_capacity: 4096,
         }
     }
 
@@ -92,6 +104,19 @@ impl NodeConfig {
     pub fn with_metrics_dump(mut self, path: impl Into<PathBuf>, every_ms: u64) -> NodeConfig {
         self.metrics_dump_path = Some(path.into());
         self.metrics_dump_every_ms = every_ms.max(1);
+        self
+    }
+
+    /// Serves the admin HTTP endpoint on `addr` (port 0 picks a free
+    /// port; read it back via [`crate::Replica::admin_addr`]).
+    pub fn with_admin(mut self, addr: SocketAddr) -> NodeConfig {
+        self.admin_addr = Some(addr);
+        self
+    }
+
+    /// Sets the per-thread flight-recorder ring capacity, in events.
+    pub fn with_trace_capacity(mut self, events: usize) -> NodeConfig {
+        self.trace_capacity = events.max(1);
         self
     }
 }

@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+mod admin;
 pub mod apps;
 pub mod config;
 pub mod metrics;
@@ -48,4 +49,4 @@ pub mod replica;
 pub use apps::{Application, BytesApp, KvApp};
 pub use config::NodeConfig;
 pub use metrics::NodeMetrics;
-pub use replica::{NodeEvent, Replica, Role};
+pub use replica::{write_atomic, NodeEvent, Replica, Role};

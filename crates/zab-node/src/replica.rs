@@ -1,5 +1,6 @@
 //! The replica event loop.
 
+use crate::admin::{AdminServer, HealthState};
 use crate::apps::Application;
 use crate::config::NodeConfig;
 use crate::metrics::NodeMetrics;
@@ -7,6 +8,8 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -16,6 +19,7 @@ use zab_core::{
 use zab_election::{Election, ElectionAction, ElectionInput, Vote};
 use zab_log::{FileStorage, LogMetrics, MemStorage, Storage};
 use zab_metrics::{Clock, Registry, Snapshot, WallClock};
+use zab_trace::{Recorder, Stage, TraceEvent, Tracer};
 use zab_transport::{Transport, TransportEvent, TransportMsg};
 
 /// The replica's current protocol role.
@@ -163,6 +167,8 @@ pub struct Replica<A: Application> {
     role: Arc<Mutex<Role>>,
     app: Arc<Mutex<A>>,
     metrics: Arc<Registry>,
+    recorder: Arc<Recorder>,
+    admin: Option<AdminServer>,
     submit_gate: Arc<SubmitGate>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -200,9 +206,24 @@ impl<A: Application> Replica<A> {
         // transport, the event loop itself) reports into it, and
         // [`Replica::metrics_snapshot`] reads it back out.
         let metrics = Arc::new(Registry::new());
-        storage.set_metrics(LogMetrics::registered(&metrics));
-        let transport =
-            Transport::start_with_metrics(id, listen, cfg.peers.clone(), Arc::clone(&metrics))?;
+        // One monotonic clock for everything timestamped in this replica
+        // — latency histograms and the flight recorder share an origin,
+        // so trace events and metric samples line up on one timeline.
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let recorder = Recorder::new(id.0, cfg.trace_capacity, Arc::clone(&clock));
+        let tracer = Tracer::new(Arc::clone(&recorder));
+        storage.set_metrics(
+            LogMetrics::registered(&metrics)
+                .with_clock(Arc::clone(&clock))
+                .with_tracer(tracer.clone()),
+        );
+        let transport = Transport::start_traced(
+            id,
+            listen,
+            cfg.peers.clone(),
+            Arc::clone(&metrics),
+            tracer.clone(),
+        )?;
         let storage = Arc::new(Mutex::new(storage));
 
         let (commands_tx, commands_rx) = unbounded();
@@ -212,6 +233,20 @@ impl<A: Application> Replica<A> {
         let role = Arc::new(Mutex::new(Role::Looking));
         let app = Arc::new(Mutex::new(app));
         let submit_gate = Arc::new(SubmitGate::new(cfg.effective_submit_window()));
+        let health = Arc::new(Mutex::new(HealthState::new(
+            cfg.peers.keys().filter(|p| **p != id).map(|p| p.0),
+        )));
+        let admin = match cfg.admin_addr {
+            Some(addr) => Some(AdminServer::start(
+                addr,
+                id.0,
+                Arc::clone(&metrics),
+                Arc::clone(&recorder),
+                Arc::clone(&role),
+                Arc::clone(&health),
+            )?),
+            None => None,
+        };
 
         // Disk thread: group commit — drain everything queued, apply,
         // flush once, complete the batch's last token.
@@ -286,14 +321,18 @@ impl<A: Application> Replica<A> {
             role: Arc::clone(&role),
             was_primary: false,
             faulted: false,
-            clock: Arc::new(WallClock::new()),
+            clock,
             applied_since_compact: 0,
             registry: Arc::clone(&metrics),
             core_metrics: CoreMetrics::registered(&metrics),
             node_metrics: NodeMetrics::registered(&metrics),
             election_started_ms: None,
             pending_commit_ms: VecDeque::new(),
+            pending_submit_us: VecDeque::new(),
+            tracer,
+            health,
             last_dump_ms: 0,
+            dump_seq: 0,
             submit_gate: Arc::clone(&submit_gate),
         };
         let loop_thread = std::thread::spawn(move || loop_state.run());
@@ -305,6 +344,8 @@ impl<A: Application> Replica<A> {
             role,
             app,
             metrics,
+            recorder,
+            admin,
             submit_gate,
             threads: vec![disk_thread, loop_thread],
         })
@@ -359,6 +400,23 @@ impl<A: Application> Replica<A> {
         self.metrics.snapshot()
     }
 
+    /// The flight recorder every layer of this replica traces into.
+    pub fn trace_recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A point-in-time snapshot of the flight recorder, sorted by
+    /// timestamp (see [`zab_trace::chrome_trace_json`] to export it).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.snapshot()
+    }
+
+    /// The admin endpoint's bound address, if one was configured (see
+    /// [`NodeConfig::with_admin`]; useful with port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::addr)
+    }
+
     /// Stops all threads.
     pub fn shutdown(self) {}
 }
@@ -404,7 +462,20 @@ struct EventLoop<A: Application> {
     /// Submit timestamps of broadcast-but-undelivered client requests
     /// (primary only; FIFO because commit order is submission order).
     pending_commit_ms: VecDeque<u64>,
+    /// The same submit instants in clock microseconds, kept in lockstep
+    /// with `pending_commit_ms`: a transaction's zxid is unknown at
+    /// submit time, so the `submit` trace event is recorded
+    /// retroactively at delivery, when the zxid is.
+    pending_submit_us: VecDeque<u64>,
+    /// Flight-recorder handle shared with storage, transport, and each
+    /// automaton incarnation.
+    tracer: Tracer,
+    /// Health facts served by the admin endpoint.
+    health: Arc<Mutex<HealthState>>,
     last_dump_ms: u64,
+    /// Dump sequence number: readers of the metrics dump can tell two
+    /// observations apart even if every counter happens to be equal.
+    dump_seq: u64,
     /// Shared with [`Replica::submit`]: every acquired slot is released
     /// exactly once — on delivery, rejection, or demotion.
     submit_gate: Arc<SubmitGate>,
@@ -449,18 +520,23 @@ impl<A: Application> EventLoop<A> {
                     Err(_) => {}
                 },
                 recv(self.transport.events()) -> ev => match ev {
-                    Ok(TransportEvent::Message { from, msg }) => match msg {
-                        TransportMsg::Zab(m) => {
-                            self.feed_zab(Input::Message { from, msg: m })
+                    Ok(TransportEvent::Message { from, msg }) => {
+                        self.health.lock().peer_ok(from.0);
+                        match msg {
+                            TransportMsg::Zab(m) => {
+                                self.feed_zab(Input::Message { from, msg: m })
+                            }
+                            TransportMsg::Election(n) => self.feed_election(
+                                ElectionInput::Notification { from, notification: n },
+                            ),
                         }
-                        TransportMsg::Election(n) => self.feed_election(
-                            ElectionInput::Notification { from, notification: n },
-                        ),
                     },
                     Ok(TransportEvent::PeerDisconnected { peer }) => {
+                        self.health.lock().peer_down(peer.0);
                         self.feed_zab(Input::PeerDisconnected { peer });
                     }
                     Ok(TransportEvent::ConnectFailed { peer, attempt, error }) => {
+                        self.health.lock().peer_failed(peer.0, attempt);
                         self.node_metrics.peer_unreachable.inc();
                         let _ = self.events_tx.send(NodeEvent::PeerUnreachable {
                             peer,
@@ -492,18 +568,24 @@ impl<A: Application> EventLoop<A> {
 
     /// Best-effort periodic metrics dump: a torn or failed write must
     /// never hurt the replica, so errors are swallowed and the file is
-    /// replaced atomically via a temp-file rename.
+    /// replaced atomically via a temp-file rename ([`write_atomic`]).
+    /// Each dump carries a strictly increasing `seq` plus a
+    /// `dumped_at_ms` wall timestamp, so a reader can order two
+    /// observations even when every counter in them is equal.
     fn maybe_dump_metrics(&mut self, now_ms: u64) {
         let Some(path) = self.cfg.metrics_dump_path.as_ref() else { return };
         if now_ms < self.last_dump_ms.saturating_add(self.cfg.metrics_dump_every_ms) {
             return;
         }
         self.last_dump_ms = now_ms;
-        let json = self.registry.snapshot().to_json();
-        let tmp = path.with_extension("tmp");
-        if std::fs::write(&tmp, json).is_ok() {
-            let _ = std::fs::rename(&tmp, path);
-        }
+        self.dump_seq += 1;
+        let body = self.registry.snapshot().to_json();
+        let wall_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        // Splice the envelope into the snapshot's own JSON object.
+        let json = format!("{{\"seq\":{},\"dumped_at_ms\":{wall_ms},{}", self.dump_seq, &body[1..]);
+        let _ = write_atomic(path, json.as_bytes());
     }
 
     fn begin_election(&mut self) {
@@ -589,6 +671,7 @@ impl<A: Application> EventLoop<A> {
                         now_ms,
                     );
                     zab.set_metrics(self.core_metrics.clone());
+                    zab.set_tracer(self.tracer.clone());
                     self.zab = Some(zab);
                     self.route_zab(acts);
                 }
@@ -623,6 +706,19 @@ impl<A: Application> EventLoop<A> {
                                 .commit_inflight
                                 .set(self.pending_commit_ms.len() as i64);
                             self.submit_gate.release(1);
+                        }
+                        // The zxid was unknown at submit time; now that it
+                        // is, record the submit instant retroactively at
+                        // its original timestamp (exporters sort by time,
+                        // so late recording does not reorder the chain).
+                        if let Some(submit_us) = self.pending_submit_us.pop_front() {
+                            self.tracer.span(
+                                Stage::Submit,
+                                txn.zxid.0,
+                                txn.zxid.0,
+                                submit_us,
+                                submit_us,
+                            );
                         }
                     }
                     let _ = self.events_tx.send(NodeEvent::Delivered(txn));
@@ -671,6 +767,7 @@ impl<A: Application> EventLoop<A> {
                     // gate slot and the newest latency entry) but the core
                     // bounced it: undo both.
                     if self.was_primary && self.pending_commit_ms.pop_back().is_some() {
+                        self.pending_submit_us.pop_back();
                         self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
                         self.submit_gate.release(1);
                     }
@@ -708,6 +805,7 @@ impl<A: Application> EventLoop<A> {
         match executed {
             Ok(delta) => {
                 self.pending_commit_ms.push_back(self.now_ms());
+                self.pending_submit_us.push_back(self.clock.now_micros());
                 self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
                 self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) });
             }
@@ -737,6 +835,9 @@ impl<A: Application> EventLoop<A> {
     }
 
     fn publish_role(&mut self) {
+        if let Some(zab) = &self.zab {
+            self.health.lock().last_committed = zab.last_committed().0;
+        }
         let role = self.current_role();
         let is_primary = matches!(role, Role::Leading { established: true, .. });
         if is_primary != self.was_primary {
@@ -748,6 +849,7 @@ impl<A: Application> EventLoop<A> {
             if !is_primary {
                 self.submit_gate.release(self.pending_commit_ms.len());
                 self.pending_commit_ms.clear();
+                self.pending_submit_us.clear();
                 self.node_metrics.commit_inflight.set(0);
             }
             self.app.lock().on_role_change(is_primary);
@@ -761,6 +863,20 @@ impl<A: Application> EventLoop<A> {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the content lands in a sibling
+/// temp file first and is renamed into place, so a concurrent reader
+/// observes either the previous complete file or the new complete file —
+/// never a prefix. Used by the periodic metrics dump.
+///
+/// # Errors
+///
+/// Fails if the temp file cannot be written or the rename fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Convenience: true once the role is an established leader.
 pub fn is_established(role: Role) -> bool {
     matches!(role, Role::Leading { established: true, .. })
@@ -768,3 +884,61 @@ pub fn is_established(role: Role) -> bool {
 
 /// Convenience: the zxid type re-exported for embedding programs.
 pub type AppliedZxid = Zxid;
+
+#[cfg(test)]
+mod tests {
+    use super::write_atomic;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Satellite regression: a reader polling the metrics dump must never
+    /// observe a torn or partial file, and `seq` must move forward. The
+    /// writer hammers dumps of wildly varying sizes while the reader
+    /// re-reads the same path; any prefix-only observation fails.
+    #[test]
+    fn atomic_dump_is_never_observed_torn() {
+        let dir = std::env::temp_dir().join(format!("zab-atomic-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.json");
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let path = path.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    seq += 1;
+                    let pad = "x".repeat(1 + (seq as usize * 97) % 4096);
+                    let json = format!("{{\"seq\":{seq},\"dumped_at_ms\":0,\"pad\":\"{pad}\"}}");
+                    write_atomic(&path, json.as_bytes()).expect("dump");
+                }
+            })
+        };
+        // Wait for the first dump, then check every observation.
+        while !path.exists() {
+            std::thread::yield_now();
+        }
+        let mut last_seq = 0u64;
+        for _ in 0..2_000 {
+            let json = std::fs::read_to_string(&path).expect("read dump");
+            assert!(json.starts_with("{\"seq\":"), "torn head: {json:.40}");
+            assert!(
+                json.ends_with('}'),
+                "torn tail: ...{:.40}",
+                &json[json.len().saturating_sub(40)..]
+            );
+            let seq: u64 = json["{\"seq\":".len()..]
+                .split(',')
+                .next()
+                .expect("seq field")
+                .parse()
+                .expect("seq parses");
+            assert!(seq >= last_seq, "seq went backwards: {seq} < {last_seq}");
+            last_seq = seq;
+        }
+        stop.store(true, Ordering::SeqCst);
+        writer.join().expect("writer");
+        assert!(last_seq > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -140,13 +140,17 @@ fn metrics_agree_across_replicas_and_time_the_commit_path() {
         .sum();
     assert!(follower_acks >= 1, "no follower ever acked a proposal");
 
-    // The periodic JSON dump landed and looks like a snapshot dump.
+    // The periodic JSON dump landed and looks like a snapshot dump
+    // wrapped in the `{seq, dumped_at_ms, ...}` envelope.
     let deadline = Instant::now() + Duration::from_secs(5);
     let dump_path = dump_dir.join(format!("n{}.json", leader.0));
     loop {
         if let Ok(json) = std::fs::read_to_string(&dump_path) {
             if json.contains("\"core.proposals_committed\"") {
-                assert!(json.starts_with("{\"counters\":{"), "unexpected dump shape");
+                assert!(json.starts_with("{\"seq\":"), "unexpected dump shape: {json:.60}");
+                assert!(json.contains("\"dumped_at_ms\":"), "missing wall timestamp");
+                assert!(json.contains("\"counters\":{"), "missing counters section");
+                assert!(json.ends_with('}'), "dump truncated");
                 break;
             }
         }

@@ -9,8 +9,10 @@
 //! the post-convergence metrics cross-check. On the first failure it
 //! prints the replayable `(seed, schedule)` report, writes it to
 //! `chaos-failure.txt` (or `$CHAOS_ARTIFACT` if set) for CI artifact
-//! upload, and exits nonzero. On success it writes an aggregate metrics
-//! summary as JSON to `chaos-metrics.json` (or `$CHAOS_METRICS`).
+//! upload alongside one `chaos-trace-n<ID>.json` flight-recorder dump
+//! per node (Chrome trace-event format, loadable in Perfetto), and exits
+//! nonzero. On success it writes an aggregate metrics summary as JSON to
+//! `chaos-metrics.json` (or `$CHAOS_METRICS`).
 //!
 //! Malformed arguments print usage and exit with status 2; they never
 //! panic.
@@ -103,6 +105,20 @@ fn main() {
                 eprintln!("could not write failure artifact {path}: {e}");
             } else {
                 eprintln!("failure artifact written to {path}");
+            }
+            // Flight-recorder dumps land next to the failure report: the
+            // causal history of every node leading into the violation.
+            let dir = std::path::Path::new(&path).parent().unwrap_or(std::path::Path::new("."));
+            for (node, events) in &failure.traces {
+                let trace_path = dir.join(format!("chaos-trace-n{node}.json"));
+                match std::fs::write(&trace_path, zab_trace::chrome_trace_json(events)) {
+                    Ok(()) => eprintln!(
+                        "flight recorder ({} events) written to {}",
+                        events.len(),
+                        trace_path.display()
+                    ),
+                    Err(e) => eprintln!("could not write trace {}: {e}", trace_path.display()),
+                }
             }
             std::process::exit(1);
         }

@@ -25,9 +25,11 @@ use crate::sim::{Sim, SimBuilder};
 use crate::workload::ClosedLoopSpec;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
 use std::fmt;
 use zab_core::ServerId;
 use zab_log::FaultOp;
+use zab_trace::TraceEvent;
 
 /// Distinct RNG stream for schedule generation, so the schedule and the
 /// simulator (seeded with the raw seed) draw independent randomness.
@@ -222,6 +224,10 @@ pub struct ChaosFailure {
     /// The full schedule (regenerable from `seed`, embedded for
     /// human-readable reports).
     pub schedule: ChaosSchedule,
+    /// Per-node flight-recorder dumps (node id → events, virtual-time
+    /// stamped) captured at the moment of failure: what every node was
+    /// doing when the invariant broke, across all its incarnations.
+    pub traces: BTreeMap<u64, Vec<TraceEvent>>,
 }
 
 impl fmt::Display for ChaosFailure {
@@ -288,11 +294,15 @@ pub fn run_schedule(
     cfg: &ChaosConfig,
     schedule: &ChaosSchedule,
 ) -> Result<ChaosReport, ChaosFailure> {
-    let fail = |step: Option<usize>, error: String| ChaosFailure {
+    // Failure construction dumps every node's flight recorder: the trace
+    // rides along with the replayable `(seed, schedule)` so the causal
+    // history leading into the violation is inspectable without a replay.
+    let fail = |sim: &Sim, step: Option<usize>, error: String| ChaosFailure {
         seed,
         step,
         error,
         schedule: schedule.clone(),
+        traces: sim.members().iter().map(|&id| (id.0, sim.trace_events(id))).collect(),
     };
 
     let mut sim = SimBuilder::new(cfg.nodes)
@@ -313,7 +323,7 @@ pub fn run_schedule(
         apply(&mut sim, cfg, op);
         sim.run_for(cfg.step_us);
         if let Err(e) = sim.check_invariants() {
-            return Err(fail(Some(i), e.to_string()));
+            return Err(fail(&sim, Some(i), e.to_string()));
         }
     }
 
@@ -334,17 +344,17 @@ pub fn run_schedule(
     sim.run_for(cfg.settle_us / 2);
 
     if let Err(e) = sim.check_invariants() {
-        return Err(fail(None, e.to_string()));
+        return Err(fail(&sim, None, e.to_string()));
     }
     if sim.leader().is_none() {
         let deadline = sim.now_us() + cfg.settle_us;
         if sim.run_until_leader(deadline).is_none() {
-            return Err(fail(None, "no leader re-established after healing".into()));
+            return Err(fail(&sim, None, "no leader re-established after healing".into()));
         }
         sim.run_for(500_000);
     }
     if let Err(e) = sim.check_converged() {
-        return Err(fail(None, format!("healed cluster did not converge: {e}")));
+        return Err(fail(&sim, None, format!("healed cluster did not converge: {e}")));
     }
 
     // The observability layer must agree with the checker's ground truth:
@@ -364,6 +374,7 @@ pub fn run_schedule(
             let applied = sim.applied_log(id).len() as i64;
             if gauge != applied {
                 return Err(fail(
+                    &sim,
                     None,
                     format!(
                         "metrics drift on {id}: node.commits_delivered={gauge} \
@@ -374,6 +385,7 @@ pub fn run_schedule(
             let committed = snap.counter("core.proposals_committed") as i64;
             if committed > gauge {
                 return Err(fail(
+                    &sim,
                     None,
                     format!(
                         "metrics drift on {id}: core.proposals_committed={committed} \
@@ -386,7 +398,11 @@ pub fn run_schedule(
         let mut values: Vec<i64> = delivered.iter().map(|&(_, v)| v).collect();
         values.dedup();
         if values.len() > 1 {
-            return Err(fail(None, format!("survivor commit metrics diverge: {delivered:?}")));
+            return Err(fail(
+                &sim,
+                None,
+                format!("survivor commit metrics diverge: {delivered:?}"),
+            ));
         }
     }
 
@@ -453,6 +469,7 @@ mod tests {
             step: Some(1),
             error: "boom".into(),
             schedule: generate(99, &cfg),
+            traces: BTreeMap::new(),
         };
         let text = f.to_string();
         assert!(text.contains("seed=99"));

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use zab_core::{Action, ClusterConfig, CoreMetrics, Input, Message, PersistToken, ServerId, Zab};
 use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
 use zab_log::{FaultOp, FaultPlan, LogMetrics, MemStorage, Storage};
-use zab_metrics::{Gauge, ManualClock, Registry};
+use zab_metrics::{Clock, Gauge, ManualClock, Registry};
+use zab_trace::{Recorder, Stage, TraceEvent, Tracer};
 
 /// What travels on a simulated link.
 #[derive(Debug, Clone)]
@@ -94,6 +95,10 @@ struct Node {
     /// Cached `node.commits_delivered` gauge: total applied entries,
     /// whether delivered by the protocol or installed via snapshot.
     commits_delivered: Arc<Gauge>,
+    /// Flight recorder, timed by the shared virtual-time clock. Unlike
+    /// the metrics registry it is *not* reset on reboot: a chaos dump
+    /// should show what the node was doing before it crashed.
+    recorder: Arc<Recorder>,
 }
 
 enum LocalInput {
@@ -133,6 +138,7 @@ pub struct SimBuilder {
     follower_timeout_ms: u64,
     leader_timeout_ms: u64,
     compact_every: Option<u64>,
+    trace_capacity: usize,
 }
 
 impl SimBuilder {
@@ -153,6 +159,7 @@ impl SimBuilder {
             follower_timeout_ms: 400,
             leader_timeout_ms: 400,
             compact_every: None,
+            trace_capacity: 4096,
         }
     }
 
@@ -200,6 +207,13 @@ impl SimBuilder {
         self
     }
 
+    /// Flight-recorder capacity per node, in events (bounded memory; the
+    /// ring overwrites the oldest events once full).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events.max(1);
+        self
+    }
+
     /// Failure-detection timeouts, in milliseconds.
     pub fn timeouts_ms(mut self, follower: u64, leader: u64, ping: u64) -> Self {
         self.follower_timeout_ms = follower;
@@ -219,6 +233,7 @@ impl SimBuilder {
         cluster.follower_timeout_ms = self.follower_timeout_ms;
         cluster.leader_timeout_ms = self.leader_timeout_ms;
         let election_cfg = ElectionConfig::new(ids.clone());
+        let trace_clock = Arc::new(ManualClock::new());
         let mut sim = Sim {
             cfg: self.clone(),
             cluster,
@@ -240,10 +255,16 @@ impl SimBuilder {
             wl_in_flight: BTreeMap::new(),
             message_loss: 0.0,
             clock_skew_ms: BTreeMap::new(),
+            trace_clock: Arc::clone(&trace_clock),
         };
         for &id in &ids {
             let registry = Arc::new(Registry::new());
             let commits_delivered = registry.gauge("node.commits_delivered");
+            let recorder = Recorder::new(
+                id.0,
+                self.trace_capacity,
+                Arc::clone(&trace_clock) as Arc<dyn Clock>,
+            );
             sim.nodes.insert(
                 id,
                 Node {
@@ -259,6 +280,7 @@ impl SimBuilder {
                     delivered_since_compact: 0,
                     metrics: registry,
                     commits_delivered,
+                    recorder,
                 },
             );
         }
@@ -299,6 +321,9 @@ pub struct Sim {
     message_loss: f64,
     /// Per-node clock offset applied to every `now_ms` it observes.
     clock_skew_ms: BTreeMap<ServerId, i64>,
+    /// Virtual-time clock every flight recorder reads: advanced in
+    /// lockstep with `now_us`, so trace timestamps are deterministic.
+    trace_clock: Arc<ManualClock>,
 }
 
 impl Sim {
@@ -346,6 +371,18 @@ impl Sim {
         self.nodes[&id].metrics.snapshot()
     }
 
+    /// A snapshot of a node's flight recorder. Unlike the metrics
+    /// registry the recorder survives crashes and reboots, so the trace
+    /// covers every incarnation (timed by deterministic virtual time).
+    pub fn trace_events(&self, id: ServerId) -> Vec<TraceEvent> {
+        self.nodes[&id].recorder.snapshot()
+    }
+
+    /// A node's flight recorder (for capacity/drop introspection).
+    pub fn trace_recorder(&self, id: ServerId) -> Arc<Recorder> {
+        Arc::clone(&self.nodes[&id].recorder)
+    }
+
     /// Runs until `deadline_us`, or the event queue empties.
     pub fn run_until(&mut self, deadline_us: u64) {
         while let Some(e) = self.events.peek() {
@@ -354,9 +391,11 @@ impl Sim {
             }
             let e = self.events.pop().expect("peeked");
             self.now_us = e.time_us;
+            self.trace_clock.set_micros(self.now_us);
             self.process_event(e.kind);
         }
         self.now_us = self.now_us.max(deadline_us);
+        self.trace_clock.set_micros(self.now_us);
     }
 
     /// Runs for `dur_us` of virtual time.
@@ -628,8 +667,13 @@ impl Sim {
         // only, so survivors' figures are comparable after a chaos run.
         node.metrics = Arc::new(Registry::new());
         node.commits_delivered = node.metrics.gauge("node.commits_delivered");
+        // Latency histograms share the virtual-time clock; storage calls
+        // are synchronous (virtual time never advances inside them), so
+        // recorded latencies stay a deterministic zero.
         node.storage.set_metrics(
-            LogMetrics::registered(&node.metrics).with_clock(Arc::new(ManualClock::new())),
+            LogMetrics::registered(&node.metrics)
+                .with_clock(Arc::clone(&self.trace_clock) as Arc<dyn Clock>)
+                .with_tracer(Tracer::new(Arc::clone(&node.recorder))),
         );
         let rec = node.storage.recover().expect("mem storage recovers");
         let vote =
@@ -653,6 +697,18 @@ impl Sim {
         // detection delay (TCP reset / keepalive).
         self.schedule(self.cfg.disconnect_detect_us, SimEventKind::Disconnect { node: b, peer: a });
         self.schedule(self.cfg.disconnect_detect_us, SimEventKind::Disconnect { node: a, peer: b });
+    }
+
+    /// The zxid a wire message is traced under: only the per-transaction
+    /// broadcast path (Propose / Ack / Commit), mirroring the real
+    /// transport — heartbeats, election, and sync streams would drown
+    /// the per-transaction timelines.
+    fn traced_zxid(wire: &Wire) -> Option<u64> {
+        match wire {
+            Wire::Zab(Message::Propose { txn, .. }) => Some(txn.zxid.0),
+            Wire::Zab(Message::Ack { zxid }) | Wire::Zab(Message::Commit { zxid }) => Some(zxid.0),
+            _ => None,
+        }
     }
 
     fn wire_size(wire: &Wire) -> usize {
@@ -700,6 +756,9 @@ impl Sim {
             self.stats.messages_dropped += 1;
             self.cut_link(from, to);
             return;
+        }
+        if let Some(zxid) = Self::traced_zxid(&wire) {
+            self.nodes[&from].recorder.record(Stage::WireOut, zxid, to.0);
         }
         let size = Self::wire_size(&wire);
         let start = self.now_us.max(self.egress_free[&from]);
@@ -749,6 +808,9 @@ impl Sim {
                 }
                 self.stats.messages_delivered += 1;
                 self.stats.bytes_delivered += size as u64;
+                if let Some(zxid) = Self::traced_zxid(&wire) {
+                    self.nodes[&to].recorder.record(Stage::WireIn, zxid, from.0);
+                }
                 match wire {
                     Wire::Zab(msg) => self.feed(to, LocalInput::Zab(Input::Message { from, msg })),
                     Wire::Election(notification) => self.feed(
@@ -875,6 +937,7 @@ impl Sim {
                         now_ms,
                     );
                     zab.set_metrics(CoreMetrics::registered(&node.metrics));
+                    zab.set_tracer(Tracer::new(Arc::clone(&node.recorder)));
                     node.zab = Some(zab);
                     self.route_zab_actions(id, acts, inbox);
                 }

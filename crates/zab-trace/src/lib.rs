@@ -1,0 +1,786 @@
+//! Per-transaction flight recorder (DESIGN.md §9).
+//!
+//! Zab's correctness argument is *causal*: every committed transaction has
+//! a precise lifecycle — submit → propose-enqueue → wire-out → wire-in →
+//! ack-rx → quorum → commit-out → watermark-advance → deliver — whose
+//! interleaving across replicas is exactly what the paper's primary-order
+//! guarantee constrains. Aggregate metrics (`zab-metrics`) say *how often*
+//! and *how slow*; this crate records *where zxid ⟨e, c⟩ spent its time,
+//! and on which replica*.
+//!
+//! ## Design
+//!
+//! - [`TraceEvent`] is a fixed-size `Copy` record: `{ts_us, dur_us, node,
+//!   zxid, zxid_end, stage, peer}`. The zxid **is** the trace id — it is
+//!   globally unique, totally ordered, and already on every PROPOSE / ACK /
+//!   COMMIT frame, so cross-node correlation needs **no new wire bytes**:
+//!   the receive side simply re-keys on the decoded zxid.
+//! - [`Recorder`] owns per-thread ring buffers with a configurable
+//!   capacity and overwrite-oldest semantics: memory is bounded at
+//!   `threads × capacity × size_of::<TraceEvent>()` no matter how long the
+//!   node runs. Each thread writes to its own ring behind a private,
+//!   uncontended mutex; the only cross-thread synchronization is a
+//!   thread-local lookup plus that uncontended lock (lock-light, not
+//!   lock-free — honest and sufficient: the hot path is two atomics-free
+//!   loads, one `Mutex` acquire with no contention, and a slot write).
+//! - [`Tracer`] is the cheap, cloneable handle threaded through the
+//!   layers. A disabled tracer (the default everywhere) is a no-op that
+//!   costs one branch.
+//! - The exporter merges rings into per-zxid causal timelines
+//!   ([`timelines`]) and renders Chrome trace-event JSON
+//!   ([`chrome_trace_json`]) loadable in `chrome://tracing` or Perfetto:
+//!   one process per node, one track per zxid, storage spans on track 0.
+//!
+//! Deterministic simulations drive the recorder from a
+//! [`zab_metrics::ManualClock`]; real nodes use [`zab_metrics::WallClock`].
+//! No external dependencies, consistent with the vendored-offline policy.
+
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use zab_metrics::Clock;
+
+/// Where in the transaction lifecycle an event was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// A client handed the payload to the replica (leader submit gate).
+    Submit,
+    /// The leader assigned a zxid and enqueued the proposal.
+    ProposeEnqueue,
+    /// A frame carrying this zxid was enqueued to a peer connection.
+    WireOut,
+    /// A frame carrying this zxid was decoded off a peer connection.
+    WireIn,
+    /// The leader received (or self-generated) an ack covering this zxid.
+    AckRx,
+    /// A quorum of acks formed; the transaction is committed.
+    Quorum,
+    /// The commit watermark covering this zxid was broadcast.
+    CommitOut,
+    /// A follower advanced its commit watermark to this zxid.
+    WatermarkAdvance,
+    /// The transaction was handed to the application.
+    Deliver,
+    /// Storage appended a batch covering `zxid..=zxid_end` (span).
+    LogAppend,
+    /// Storage flushed (fsync) the batch covering `zxid..=zxid_end` (span).
+    LogFsync,
+}
+
+impl Stage {
+    /// Every stage, in lifecycle order.
+    pub const ALL: [Stage; 11] = [
+        Stage::Submit,
+        Stage::ProposeEnqueue,
+        Stage::WireOut,
+        Stage::WireIn,
+        Stage::AckRx,
+        Stage::Quorum,
+        Stage::CommitOut,
+        Stage::WatermarkAdvance,
+        Stage::Deliver,
+        Stage::LogAppend,
+        Stage::LogFsync,
+    ];
+
+    /// Stable human-readable name (used in exports and endpoints).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Submit => "submit",
+            Stage::ProposeEnqueue => "propose-enqueue",
+            Stage::WireOut => "wire-out",
+            Stage::WireIn => "wire-in",
+            Stage::AckRx => "ack-rx",
+            Stage::Quorum => "quorum",
+            Stage::CommitOut => "commit-out",
+            Stage::WatermarkAdvance => "watermark-advance",
+            Stage::Deliver => "deliver",
+            Stage::LogAppend => "log-append",
+            Stage::LogFsync => "log-fsync",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One fixed-size flight-recorder record.
+///
+/// `zxid` is the packed `(epoch << 32) | counter` transaction id. Point
+/// events have `zxid_end == zxid` and `dur_us == 0`; storage spans cover
+/// the inclusive zxid range `zxid..=zxid_end` and carry a duration.
+/// `peer == 0` means "no peer" (server ids start at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic microseconds (recorder clock origin).
+    pub ts_us: u64,
+    /// Span duration in microseconds; 0 for instant events.
+    pub dur_us: u64,
+    /// Recording node's server id.
+    pub node: u64,
+    /// Packed zxid (range start for storage spans).
+    pub zxid: u64,
+    /// Packed zxid range end (== `zxid` for point events).
+    pub zxid_end: u64,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Peer server id involved, or 0.
+    pub peer: u64,
+}
+
+impl TraceEvent {
+    /// True when this event covers a zxid range (storage span).
+    pub fn is_span(&self) -> bool {
+        self.zxid_end != self.zxid || self.dur_us != 0
+    }
+}
+
+/// Renders a packed zxid as the conventional `epoch:counter`.
+pub fn zxid_display(zxid: u64) -> String {
+    format!("{}:{}", zxid >> 32, zxid & 0xffff_ffff)
+}
+
+/// Fixed-capacity overwrite-oldest event ring; one per recording thread.
+struct Ring {
+    slots: Mutex<RingInner>,
+}
+
+struct RingInner {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next slot to write once full (oldest slot).
+    next: usize,
+    /// Events evicted by overwrite.
+    dropped: u64,
+}
+
+/// Recovers from mutex poisoning: the ring holds plain-old-data whose
+/// invariants hold after any partial write, so continuing is safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            slots: Mutex::new(RingInner { buf: Vec::new(), cap: cap.max(1), next: 0, dropped: 0 }),
+        }
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut r = lock(&self.slots);
+        if r.buf.len() < r.cap {
+            r.buf.push(ev);
+        } else {
+            let i = r.next;
+            r.buf[i] = ev;
+            r.next = (i + 1) % r.cap;
+            r.dropped += 1;
+        }
+    }
+
+    /// Events oldest → newest.
+    fn events(&self) -> Vec<TraceEvent> {
+        let r = lock(&self.slots);
+        let mut out = Vec::with_capacity(r.buf.len());
+        out.extend_from_slice(&r.buf[r.next..]);
+        out.extend_from_slice(&r.buf[..r.next]);
+        out
+    }
+
+    fn clear(&self) {
+        let mut r = lock(&self.slots);
+        r.buf.clear();
+        r.next = 0;
+    }
+
+    fn dropped(&self) -> u64 {
+        lock(&self.slots).dropped
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread cache: recorder id → this thread's ring in that
+    /// recorder. Weak so a dropped recorder's rings are reclaimed; stale
+    /// entries are pruned on the next cache miss.
+    static THREAD_RINGS: RefCell<Vec<(u64, Weak<Ring>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A node's flight recorder: the set of per-thread rings plus the clock
+/// they timestamp against.
+///
+/// Memory is bounded by `ring_count() × capacity × size_of::<TraceEvent>()`
+/// where `ring_count` is the number of distinct threads that ever recorded
+/// (event-loop, disk thread, per-connection reader threads).
+pub struct Recorder {
+    id: u64,
+    node: u64,
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("node", &self.node)
+            .field("capacity", &self.capacity)
+            .field("rings", &self.ring_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A recorder for `node` with per-thread ring capacity `capacity`
+    /// (clamped to ≥ 1), timestamping from `clock`.
+    pub fn new(node: u64, capacity: usize, clock: Arc<dyn Clock>) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            node,
+            capacity: capacity.max(1),
+            clock,
+            rings: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The node id stamped on every event.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Per-thread ring capacity, in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of per-thread rings allocated so far.
+    pub fn ring_count(&self) -> usize {
+        lock(&self.rings).len()
+    }
+
+    /// Upper bound on resident events: `ring_count × capacity`. The
+    /// recorder never holds more than this regardless of traffic.
+    pub fn max_resident_events(&self) -> usize {
+        self.ring_count() * self.capacity
+    }
+
+    /// Current recorder clock, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    /// Total events evicted by overwrite across all rings.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.rings).iter().map(|r| r.dropped()).sum()
+    }
+
+    /// This thread's ring, creating and registering it on first use.
+    fn ring(&self) -> Arc<Ring> {
+        THREAD_RINGS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if let Some((_, weak)) = cache.iter().find(|(id, _)| *id == self.id) {
+                if let Some(ring) = weak.upgrade() {
+                    return ring;
+                }
+            }
+            // Miss (or stale): prune dead recorders, register a new ring.
+            cache.retain(|(id, weak)| *id != self.id && weak.strong_count() > 0);
+            let ring = Arc::new(Ring::new(self.capacity));
+            lock(&self.rings).push(Arc::clone(&ring));
+            cache.push((self.id, Arc::downgrade(&ring)));
+            ring
+        })
+    }
+
+    /// Records an instant event at the current clock reading.
+    pub fn record(&self, stage: Stage, zxid: u64, peer: u64) {
+        let ev = TraceEvent {
+            ts_us: self.clock.now_micros(),
+            dur_us: 0,
+            node: self.node,
+            zxid,
+            zxid_end: zxid,
+            stage,
+            peer,
+        };
+        self.ring().push(ev);
+    }
+
+    /// Records a span covering zxids `zxid..=zxid_end` from `start_us` to
+    /// `end_us` (recorder clock readings; see [`Recorder::now_us`]).
+    pub fn record_span(&self, stage: Stage, zxid: u64, zxid_end: u64, start_us: u64, end_us: u64) {
+        let ev = TraceEvent {
+            ts_us: start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            node: self.node,
+            zxid,
+            zxid_end: zxid_end.max(zxid),
+            stage,
+            peer: 0,
+        };
+        self.ring().push(ev);
+    }
+
+    /// Copies out every ring, merged and sorted by `(ts_us, node)`.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let rings: Vec<Arc<Ring>> = lock(&self.rings).clone();
+        let mut out: Vec<TraceEvent> = rings.iter().flat_map(|r| r.events()).collect();
+        out.sort_by_key(|e| (e.ts_us, e.zxid, e.stage));
+        out
+    }
+
+    /// Like [`Recorder::snapshot`] but clears the rings afterwards.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let rings: Vec<Arc<Ring>> = lock(&self.rings).clone();
+        let mut out: Vec<TraceEvent> = rings.iter().flat_map(|r| r.events()).collect();
+        for r in &rings {
+            r.clear();
+        }
+        out.sort_by_key(|e| (e.ts_us, e.zxid, e.stage));
+        out
+    }
+}
+
+/// The cheap handle layers record through. Disabled by default (one-branch
+/// no-op), so standalone automata and tests pay nothing.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Recorder>>);
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(r) => write!(f, "Tracer(node {})", r.node()),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A no-op tracer.
+    pub fn disabled() -> Tracer {
+        Tracer(None)
+    }
+
+    /// A tracer recording into `recorder`.
+    pub fn new(recorder: Arc<Recorder>) -> Tracer {
+        Tracer(Some(recorder))
+    }
+
+    /// True when events are actually recorded.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The backing recorder, if enabled.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.0.as_ref()
+    }
+
+    /// Current recorder clock in microseconds (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        self.0.as_ref().map_or(0, |r| r.now_us())
+    }
+
+    /// Records an instant event (no-op when disabled).
+    #[inline]
+    pub fn instant(&self, stage: Stage, zxid: u64, peer: u64) {
+        if let Some(r) = &self.0 {
+            r.record(stage, zxid, peer);
+        }
+    }
+
+    /// Records a zxid-range span (no-op when disabled).
+    #[inline]
+    pub fn span(&self, stage: Stage, zxid: u64, zxid_end: u64, start_us: u64, end_us: u64) {
+        if let Some(r) = &self.0 {
+            r.record_span(stage, zxid, zxid_end, start_us, end_us);
+        }
+    }
+}
+
+/// Merges event sets from several recorders (e.g. every node of an
+/// ensemble) into one stream sorted by `(ts_us, node)`.
+pub fn merge(groups: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = groups.into_iter().flatten().collect();
+    out.sort_by_key(|e| (e.ts_us, e.node, e.zxid, e.stage));
+    out
+}
+
+/// Groups events into per-zxid causal timelines, each sorted by
+/// `(ts_us, node)`.
+///
+/// Keys are the zxids of point events; a storage span covering
+/// `zxid..=zxid_end` is attached to every key inside its range, so a
+/// transaction's timeline includes the append/fsync it rode in.
+pub fn timelines(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
+    let mut map: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if !e.is_span() {
+            map.entry(e.zxid).or_default();
+        }
+    }
+    for e in events {
+        if e.is_span() {
+            // Attach to existing point-event keys inside the range only:
+            // bounded by the number of transactions actually observed.
+            let keys: Vec<u64> = map.range(e.zxid..=e.zxid_end).map(|(&z, _)| z).collect();
+            for z in keys {
+                if let Some(v) = map.get_mut(&z) {
+                    v.push(*e);
+                }
+            }
+        } else if let Some(v) = map.get_mut(&e.zxid) {
+            v.push(*e);
+        }
+    }
+    for v in map.values_mut() {
+        v.sort_by_key(|e| (e.ts_us, e.node, e.stage));
+    }
+    map
+}
+
+/// Time spent between two consecutive lifecycle stages of one transaction
+/// on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDelta {
+    /// Recording node.
+    pub node: u64,
+    /// Transaction.
+    pub zxid: u64,
+    /// Earlier stage.
+    pub from: Stage,
+    /// Later stage.
+    pub to: Stage,
+    /// Microseconds between the two events.
+    pub delta_us: u64,
+}
+
+/// Computes consecutive-stage deltas per `(node, zxid)`: the time-in-stage
+/// breakdown `broadcast_bench --trace-out` aggregates into histograms.
+/// Storage spans are excluded (they cover ranges, not one transaction).
+pub fn stage_deltas(events: &[TraceEvent]) -> Vec<StageDelta> {
+    let mut per_key: BTreeMap<(u64, u64), Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if !e.is_span() {
+            per_key.entry((e.node, e.zxid)).or_default().push(e);
+        }
+    }
+    let mut out = Vec::new();
+    for ((node, zxid), mut evs) in per_key {
+        evs.sort_by_key(|e| (e.ts_us, e.stage));
+        for w in evs.windows(2) {
+            out.push(StageDelta {
+                node,
+                zxid,
+                from: w[0].stage,
+                to: w[1].stage,
+                delta_us: w[1].ts_us.saturating_sub(w[0].ts_us),
+            });
+        }
+    }
+    out
+}
+
+/// Renders events as Chrome trace-event JSON (the `{"traceEvents": [...]}`
+/// object format), loadable in `chrome://tracing` and Perfetto.
+///
+/// Layout: one *process* per node; *thread* 0 is the storage lane
+/// (append/fsync spans, `ph:"X"`); each distinct zxid gets its own
+/// numbered track shared across nodes, so one transaction's lifecycle
+/// lines up vertically across the ensemble. Instant events use `ph:"i"`
+/// with thread scope.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // Stable lane per zxid, shared across nodes.
+    let mut lanes: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        if !e.is_span() {
+            let next = lanes.len() as u64 + 1;
+            lanes.entry(e.zxid).or_insert(next);
+        }
+    }
+    let mut nodes: Vec<u64> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    let mut s = String::with_capacity(events.len() * 96 + 1024);
+    s.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: &mut String, item: &str| {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(item);
+    };
+    for &n in &nodes {
+        push(
+            &mut s,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":0,\
+                 \"args\":{{\"name\":\"zab node {n}\"}}}}"
+            ),
+        );
+        push(
+            &mut s,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":0,\
+                 \"args\":{{\"name\":\"storage\"}}}}"
+            ),
+        );
+        for (&zxid, &lane) in &lanes {
+            push(
+                &mut s,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":{lane},\
+                     \"args\":{{\"name\":\"zxid {}\"}}}}",
+                    zxid_display(zxid)
+                ),
+            );
+        }
+    }
+    for e in events {
+        let mut item = String::with_capacity(128);
+        if e.is_span() {
+            let _ = write!(
+                item,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"zxid_first\":\"{}\",\"zxid_last\":\"{}\"}}}}",
+                e.stage,
+                e.ts_us,
+                e.dur_us,
+                e.node,
+                zxid_display(e.zxid),
+                zxid_display(e.zxid_end)
+            );
+        } else {
+            let lane = lanes.get(&e.zxid).copied().unwrap_or(0);
+            let _ = write!(
+                item,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"zxid\":\"{}\"",
+                e.stage,
+                e.ts_us,
+                e.node,
+                lane,
+                zxid_display(e.zxid)
+            );
+            if e.peer != 0 {
+                let _ = write!(item, ",\"peer\":{}", e.peer);
+            }
+            item.push_str("}}");
+        }
+        push(&mut s, &item);
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zab_metrics::ManualClock;
+
+    fn recorder(cap: usize) -> (Arc<Recorder>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (Recorder::new(7, cap, clock.clone()), clock)
+    }
+
+    #[test]
+    fn records_and_snapshots_in_time_order() {
+        let (rec, clock) = recorder(16);
+        let t = Tracer::new(rec.clone());
+        clock.set_micros(10);
+        t.instant(Stage::Submit, 1, 0);
+        clock.set_micros(30);
+        t.instant(Stage::Deliver, 1, 0);
+        clock.set_micros(20);
+        t.instant(Stage::ProposeEnqueue, 1, 0);
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            vec![10, 20, 30],
+            "snapshot must sort by timestamp"
+        );
+        assert!(evs.iter().all(|e| e.node == 7));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let (rec, clock) = recorder(4);
+        let t = Tracer::new(rec.clone());
+        for i in 0..10u64 {
+            clock.set_micros(i);
+            t.instant(Stage::WireOut, i, 0);
+        }
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 4, "bounded at capacity");
+        assert_eq!(evs.iter().map(|e| e.zxid).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(rec.dropped(), 6);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_load() {
+        let (rec, _clock) = recorder(128);
+        let t = Tracer::new(rec.clone());
+        for i in 0..100_000u64 {
+            t.instant(Stage::WireIn, i, 1);
+        }
+        assert!(rec.snapshot().len() <= rec.max_resident_events());
+        assert_eq!(rec.ring_count(), 1, "single thread → single ring");
+    }
+
+    #[test]
+    fn each_thread_gets_its_own_ring() {
+        let (rec, clock) = recorder(64);
+        clock.set_micros(5);
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let t = Tracer::new(rec.clone());
+                std::thread::spawn(move || {
+                    for j in 0..10 {
+                        t.instant(Stage::WireIn, i * 100 + j, i + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(rec.ring_count(), 4);
+        assert_eq!(rec.snapshot().len(), 40);
+    }
+
+    #[test]
+    fn drain_clears() {
+        let (rec, _clock) = recorder(8);
+        let t = Tracer::new(rec.clone());
+        t.instant(Stage::Quorum, 3, 0);
+        assert_eq!(rec.drain().len(), 1);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.instant(Stage::Submit, 1, 0);
+        t.span(Stage::LogAppend, 1, 2, 0, 10);
+        assert_eq!(t.now_us(), 0);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_do_not_cross_streams() {
+        let clock = Arc::new(ManualClock::new());
+        let a = Recorder::new(1, 8, clock.clone());
+        let b = Recorder::new(2, 8, clock);
+        Tracer::new(a.clone()).instant(Stage::Submit, 10, 0);
+        Tracer::new(b.clone()).instant(Stage::Deliver, 20, 0);
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(a.snapshot()[0].zxid, 10);
+        assert_eq!(b.snapshot().len(), 1);
+        assert_eq!(b.snapshot()[0].zxid, 20);
+    }
+
+    #[test]
+    fn timelines_group_by_zxid_and_attach_covering_spans() {
+        let (rec, clock) = recorder(32);
+        let t = Tracer::new(rec.clone());
+        let z1 = (4u64 << 32) | 1;
+        let z2 = (4u64 << 32) | 2;
+        clock.set_micros(10);
+        t.instant(Stage::ProposeEnqueue, z1, 0);
+        clock.set_micros(11);
+        t.instant(Stage::ProposeEnqueue, z2, 0);
+        t.span(Stage::LogFsync, z1, z2, 12, 40);
+        clock.set_micros(50);
+        t.instant(Stage::Deliver, z1, 0);
+        let tl = timelines(&rec.snapshot());
+        assert_eq!(tl.len(), 2);
+        let t1 = &tl[&z1];
+        assert_eq!(
+            t1.iter().map(|e| e.stage).collect::<Vec<_>>(),
+            vec![Stage::ProposeEnqueue, Stage::LogFsync, Stage::Deliver]
+        );
+        assert!(tl[&z2].iter().any(|e| e.stage == Stage::LogFsync), "span covers z2 too");
+    }
+
+    #[test]
+    fn stage_deltas_pair_consecutive_stages() {
+        let (rec, clock) = recorder(32);
+        let t = Tracer::new(rec.clone());
+        clock.set_micros(100);
+        t.instant(Stage::Submit, 9, 0);
+        clock.set_micros(130);
+        t.instant(Stage::ProposeEnqueue, 9, 0);
+        clock.set_micros(190);
+        t.instant(Stage::Deliver, 9, 0);
+        let deltas = stage_deltas(&rec.snapshot());
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].from, Stage::Submit);
+        assert_eq!(deltas[0].to, Stage::ProposeEnqueue);
+        assert_eq!(deltas[0].delta_us, 30);
+        assert_eq!(deltas[1].delta_us, 60);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let (rec, clock) = recorder(32);
+        let t = Tracer::new(rec.clone());
+        let z = (3u64 << 32) | 7;
+        clock.set_micros(1000);
+        t.instant(Stage::Submit, z, 0);
+        clock.set_micros(1500);
+        t.instant(Stage::AckRx, z, 2);
+        t.span(Stage::LogAppend, z, z, 1100, 1300);
+        let json = chrome_trace_json(&rec.snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("zab node 7"));
+        assert!(json.contains("\"zxid\":\"3:7\""));
+        assert!(json.contains("\"peer\":2"));
+        assert!(json.contains("\"ph\":\"X\""), "storage span rendered as complete event");
+        assert!(json.contains("\"dur\":200"));
+        // Balanced braces — cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn merge_sorts_across_nodes() {
+        let clock = Arc::new(ManualClock::new());
+        let a = Recorder::new(1, 8, clock.clone());
+        let b = Recorder::new(2, 8, clock.clone());
+        clock.set_micros(20);
+        Tracer::new(a.clone()).instant(Stage::WireOut, 5, 2);
+        clock.set_micros(10);
+        Tracer::new(b.clone()).instant(Stage::WireIn, 5, 1);
+        let merged = merge(vec![a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].node, 2);
+        assert_eq!(merged[1].node, 1);
+    }
+
+    #[test]
+    fn zxid_display_unpacks() {
+        assert_eq!(zxid_display((4 << 32) | 17), "4:17");
+        assert_eq!(zxid_display(0), "0:0");
+    }
+}

@@ -39,7 +39,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use zab_core::{Message, ServerId};
 use zab_election::Notification;
-use zab_metrics::Registry;
+use zab_metrics::{peer_metric, Registry};
+use zab_trace::{Stage, Tracer};
 use zab_wire::frame::{frame_header, FrameDecoder, HEADER_LEN};
 
 /// A message on the mesh: protocol or election traffic.
@@ -68,6 +69,19 @@ impl TransportMsg {
             }
         }
         Bytes::from(buf)
+    }
+
+    /// The zxid to attribute this message to in the flight recorder.
+    /// Only the broadcast-path messages (PROPOSE/ACK/COMMIT) are traced;
+    /// heartbeats, election traffic, and sync streams would drown the
+    /// per-transaction timelines in noise.
+    fn traced_zxid(&self) -> Option<u64> {
+        match self {
+            TransportMsg::Zab(Message::Propose { txn, .. }) => Some(txn.zxid.0),
+            TransportMsg::Zab(Message::Ack { zxid })
+            | TransportMsg::Zab(Message::Commit { zxid }) => Some(zxid.0),
+            _ => None,
+        }
     }
 
     /// Decodes a channel-tagged frame payload. Zab transaction payloads
@@ -135,6 +149,9 @@ pub struct Transport {
     /// Metrics registry shared with the sender/reader threads
     /// (per-peer instruments under `transport.*.<peer>`).
     metrics: Arc<Registry>,
+    /// Flight-recorder handle: wire-out/wire-in instants for broadcast
+    /// traffic (disabled unless built via [`Transport::start_traced`]).
+    tracer: Tracer,
 }
 
 /// Registry of live inbound connections (see [`Transport::inbound`]).
@@ -174,6 +191,26 @@ impl Transport {
         peers: BTreeMap<ServerId, SocketAddr>,
         metrics: Arc<Registry>,
     ) -> std::io::Result<Transport> {
+        Transport::start_traced(id, listen, peers, metrics, Tracer::disabled())
+    }
+
+    /// [`Transport::start_with_metrics`] plus a flight-recorder handle:
+    /// every traced Zab message (PROPOSE/ACK/COMMIT) records a `wire-out`
+    /// instant when queued and a `wire-in` instant when decoded off a
+    /// peer's connection, keyed by the zxid carried in the frame — no
+    /// extra wire bytes. Like the registry, the tracer is a constructor
+    /// argument because reader threads capture it at spawn.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listen socket cannot be bound.
+    pub fn start_traced(
+        id: ServerId,
+        listen: SocketAddr,
+        peers: BTreeMap<ServerId, SocketAddr>,
+        metrics: Arc<Registry>,
+        tracer: Tracer,
+    ) -> std::io::Result<Transport> {
         let listener = TcpListener::bind(listen)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -189,8 +226,9 @@ impl Transport {
             let stop = Arc::clone(&stop);
             let inbound = Arc::clone(&inbound);
             let metrics = Arc::clone(&metrics);
+            let tracer = tracer.clone();
             threads.push(thread::spawn(move || {
-                accept_loop(listener, events_tx, stop, inbound, metrics);
+                accept_loop(listener, events_tx, stop, inbound, metrics, tracer);
             }));
         }
 
@@ -218,6 +256,7 @@ impl Transport {
             local_addr,
             inbound,
             metrics,
+            tracer,
         })
     }
 
@@ -241,6 +280,9 @@ impl Transport {
     /// the channel as broken either way.
     pub fn send(&self, peer: ServerId, msg: TransportMsg) {
         if let Some(tx) = self.senders.get(&peer) {
+            if let Some(zxid) = msg.traced_zxid() {
+                self.tracer.instant(Stage::WireOut, zxid, peer.0);
+            }
             let _ = tx.send(SendCmd::Msg(msg.encode()));
         }
     }
@@ -249,8 +291,12 @@ impl Transport {
     /// thread receives a clone of the same refcounted buffer, so the
     /// per-peer cost is independent of the payload size.
     pub fn broadcast(&self, msg: TransportMsg) {
+        let traced = msg.traced_zxid();
         let encoded = msg.encode();
-        for tx in self.senders.values() {
+        for (peer, tx) in &self.senders {
+            if let Some(zxid) = traced {
+                self.tracer.instant(Stage::WireOut, zxid, peer.0);
+            }
             let _ = tx.send(SendCmd::Msg(encoded.clone()));
         }
     }
@@ -346,6 +392,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     inbound: ConnRegistry,
     metrics: Arc<Registry>,
+    tracer: Tracer,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     let mut next_conn_id = 0u64;
@@ -361,8 +408,9 @@ fn accept_loop(
                 let inbound = Arc::clone(&inbound);
                 let stop = Arc::clone(&stop);
                 let metrics = Arc::clone(&metrics);
+                let tracer = tracer.clone();
                 readers.push(thread::spawn(move || {
-                    reader_loop(stream, events_tx, stop, metrics);
+                    reader_loop(stream, events_tx, stop, metrics, tracer);
                     inbound.lock().remove(&conn_id);
                 }));
             }
@@ -385,6 +433,7 @@ fn reader_loop(
     events_tx: Sender<TransportEvent>,
     stop: Arc<AtomicBool>,
     metrics: Arc<Registry>,
+    tracer: Tracer,
 ) {
     let _ = stream.set_nodelay(true);
     // Handshake: 8-byte peer id.
@@ -393,8 +442,8 @@ fn reader_loop(
         return;
     }
     let peer = ServerId(u64::from_le_bytes(hs));
-    let bytes_in = metrics.counter(&format!("transport.bytes_in.{}", peer.0));
-    let frames_in = metrics.counter(&format!("transport.frames_in.{}", peer.0));
+    let bytes_in = metrics.counter(&peer_metric("transport.bytes_in", peer.0));
+    let frames_in = metrics.counter(&peer_metric("transport.frames_in", peer.0));
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 64 * 1024];
     loop {
@@ -411,6 +460,9 @@ fn reader_loop(
                         Ok(Some(payload)) => {
                             frames_in.inc();
                             if let Some(msg) = TransportMsg::decode(payload) {
+                                if let Some(zxid) = msg.traced_zxid() {
+                                    tracer.instant(Stage::WireIn, zxid, peer.0);
+                                }
                                 let _ = events_tx.send(TransportEvent::Message { from: peer, msg });
                             }
                         }
@@ -449,14 +501,14 @@ fn sender_loop(
     stop: Arc<AtomicBool>,
     metrics: Arc<Registry>,
 ) {
-    let bytes_out = metrics.counter(&format!("transport.bytes_out.{}", peer.0));
-    let frames_out = metrics.counter(&format!("transport.frames_out.{}", peer.0));
-    let connects = metrics.counter(&format!("transport.connects.{}", peer.0));
-    let connect_failures = metrics.counter(&format!("transport.connect_failures.{}", peer.0));
-    let disconnects = metrics.counter(&format!("transport.disconnects.{}", peer.0));
-    let queue_depth = metrics.gauge(&format!("transport.send_queue_depth.{}", peer.0));
-    let batch_frames = metrics.histogram(&format!("transport.batch_frames.{}", peer.0));
-    let batch_bytes = metrics.histogram(&format!("transport.batch_bytes.{}", peer.0));
+    let bytes_out = metrics.counter(&peer_metric("transport.bytes_out", peer.0));
+    let frames_out = metrics.counter(&peer_metric("transport.frames_out", peer.0));
+    let connects = metrics.counter(&peer_metric("transport.connects", peer.0));
+    let connect_failures = metrics.counter(&peer_metric("transport.connect_failures", peer.0));
+    let disconnects = metrics.counter(&peer_metric("transport.disconnects", peer.0));
+    let queue_depth = metrics.gauge(&peer_metric("transport.send_queue_depth", peer.0));
+    let batch_frames = metrics.histogram(&peer_metric("transport.batch_frames", peer.0));
+    let batch_bytes = metrics.histogram(&peer_metric("transport.batch_bytes", peer.0));
     let mut conn: Option<TcpStream> = None;
     let mut backoff = Backoff::new(me, peer);
     let mut next_attempt = Instant::now();
