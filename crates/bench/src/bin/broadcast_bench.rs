@@ -317,9 +317,11 @@ fn main() {
         &[f64],
         f64,
     ) = if quick {
-        (&[3], 500, &[1, 32], &[0.5, 0.9], 1.0)
+        // 5 exercises a mid-size real-TCP ensemble in CI; 9 pins the far
+        // end of the scaling curve schema.
+        (&[3, 5, 9], 500, &[1, 32], &[0.5, 0.9], 1.0)
     } else {
-        (&[3, 5, 7], 4_000, &[1, 8, 32, 128], &[0.25, 0.5, 0.75, 0.9, 1.1], 3.0)
+        (&[3, 5, 7, 9], 20_000, &[1, 8, 32, 128], &[0.25, 0.5, 0.75, 0.9, 1.1], 3.0)
     };
     const SAT_WINDOW: usize = 512;
 

@@ -127,6 +127,16 @@ pub enum Action {
         /// The message.
         msg: crate::messages::Message,
     },
+    /// Send the *same* `msg` to every server in `to` — the leader's
+    /// fan-out. Drivers should encode the message once and hand each
+    /// channel a shared handle; semantically this is exactly a
+    /// [`Action::Send`] per target, in `to`'s order.
+    Broadcast {
+        /// Destination servers (never includes this server).
+        to: Vec<ServerId>,
+        /// The message.
+        msg: crate::messages::Message,
+    },
     /// Make `req` durable, then feed back [`Input::Persisted`].
     Persist {
         /// Completion token.

@@ -36,6 +36,42 @@ use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use zab_trace::{Stage, Tracer};
 
+/// Approximate payload-byte budget for a single sync-stream message.
+///
+/// A follower that has fallen far behind would otherwise receive its
+/// entire missing history as one `SyncDiff`/`SyncTrunc`/`SyncSnap`,
+/// whose encoded size grows without bound and can exceed any transport
+/// frame limit. The leader instead splits the transaction tail into
+/// chunks of at most this many payload bytes and streams them as
+/// consecutive sync messages; the follower's sync path appends each
+/// chunk in arrival order until `NEWLEADER` closes the stream, so the
+/// split is invisible to the protocol.
+const SYNC_CHUNK_BYTES: usize = 1 << 20;
+
+/// Per-transaction overhead allowance (zxid + framing) when budgeting
+/// sync chunks, so streams of tiny transactions still chunk sanely.
+const SYNC_TXN_OVERHEAD: usize = 64;
+
+/// Splits a sync transaction tail into bounded chunks. Always returns at
+/// least one (possibly empty) chunk, because the first chunk rides inside
+/// the plan's opening message (`SyncDiff`/`SyncTrunc`/`SyncSnap`).
+fn sync_chunks(txns: Vec<Txn>) -> Vec<Vec<Txn>> {
+    let mut chunks: Vec<Vec<Txn>> = vec![Vec::new()];
+    let mut budget = 0usize;
+    for txn in txns {
+        let cost = txn.data.len() + SYNC_TXN_OVERHEAD;
+        let current = chunks.last_mut().expect("chunks is never empty");
+        if budget + cost > SYNC_CHUNK_BYTES && !current.is_empty() {
+            chunks.push(vec![txn]);
+            budget = cost;
+        } else {
+            current.push(txn);
+            budget += cost;
+        }
+    }
+    chunks
+}
+
 /// Externally visible leader phase, for tests and observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeaderStatus {
@@ -569,11 +605,24 @@ impl Leader {
                 }
             }
             SyncPlan::Diff { txns } => {
-                out.push(Action::Send { to: from, msg: Message::SyncDiff { txns } });
+                let mut chunks = sync_chunks(txns).into_iter();
+                let first = chunks.next().expect("at least one chunk");
+                out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: first } });
+                for chunk in chunks {
+                    out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: chunk } });
+                }
                 self.finish_sync_stream(from, out);
             }
             SyncPlan::Trunc { truncate_to, txns } => {
-                out.push(Action::Send { to: from, msg: Message::SyncTrunc { truncate_to, txns } });
+                let mut chunks = sync_chunks(txns).into_iter();
+                let first = chunks.next().expect("at least one chunk");
+                out.push(Action::Send {
+                    to: from,
+                    msg: Message::SyncTrunc { truncate_to, txns: first },
+                });
+                for chunk in chunks {
+                    out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: chunk } });
+                }
                 self.finish_sync_stream(from, out);
             }
         }
@@ -596,14 +645,19 @@ impl Leader {
             })
             .collect();
         for id in waiting {
+            let mut chunks = sync_chunks(self.history.txns_after(zxid).to_vec()).into_iter();
+            let first = chunks.next().expect("at least one chunk");
             out.push(Action::Send {
                 to: id,
                 msg: Message::SyncSnap {
                     snapshot: snapshot.clone(),
                     snapshot_zxid: zxid,
-                    txns: self.history.txns_after(zxid).to_vec(),
+                    txns: first,
                 },
             });
+            for chunk in chunks {
+                out.push(Action::Send { to: id, msg: Message::SyncDiff { txns: chunk } });
+            }
             self.finish_sync_stream(id, out);
         }
     }
@@ -733,15 +787,24 @@ impl Leader {
     }
 
     /// Sends to active peers; queues for syncing peers (FIFO per peer).
+    ///
+    /// Two or more active peers produce a single [`Action::Broadcast`]
+    /// (targets in id order) so the driver can encode the message once
+    /// and fan out shared handles; a lone active peer stays a plain
+    /// [`Action::Send`].
     fn broadcast(&mut self, msg: Message, out: &mut Vec<Action>) {
+        let mut active: Vec<ServerId> = Vec::with_capacity(self.peers.len());
         for (&id, peer) in self.peers.iter_mut() {
             match &mut peer.state {
-                PeerState::Active { .. } => {
-                    out.push(Action::Send { to: id, msg: msg.clone() });
-                }
+                PeerState::Active { .. } => active.push(id),
                 PeerState::Syncing { queue, .. } => queue.push(msg.clone()),
                 _ => {}
             }
+        }
+        match active.len() {
+            0 => {}
+            1 => out.push(Action::Send { to: active[0], msg }),
+            _ => out.push(Action::Broadcast { to: active, msg }),
         }
     }
 
@@ -898,6 +961,7 @@ mod tests {
             .iter()
             .filter_map(|a| match a {
                 Action::Send { to: t, msg } if *t == to => Some(msg),
+                Action::Broadcast { to: ts, msg } if ts.contains(&to) => Some(msg),
                 _ => None,
             })
             .collect()
@@ -1346,5 +1410,85 @@ mod tests {
         let commits =
             sends_to(&a, F3).iter().filter(|m| matches!(m, Message::Commit { .. })).count();
         assert_eq!(commits, 1);
+    }
+
+    #[test]
+    fn sync_chunks_bounds_each_chunk_and_preserves_order() {
+        let big = SYNC_CHUNK_BYTES / 2;
+        let txns: Vec<Txn> = (1..=5)
+            .map(|i| Txn::new(Zxid::new(Epoch(1), i), Bytes::from(vec![i as u8; big])))
+            .collect();
+        let chunks = sync_chunks(txns.clone());
+        assert!(chunks.len() > 1, "1.25 MiB of payload must split");
+        for chunk in &chunks {
+            let bytes: usize = chunk.iter().map(|t| t.data.len() + SYNC_TXN_OVERHEAD).sum();
+            assert!(chunk.len() == 1 || bytes <= SYNC_CHUNK_BYTES);
+        }
+        let flat: Vec<Txn> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, txns);
+
+        // Empty input still yields the mandatory leading (empty) chunk.
+        assert_eq!(sync_chunks(Vec::new()), vec![Vec::new()]);
+
+        // A single oversized txn travels alone rather than being dropped.
+        let giant =
+            vec![Txn::new(Zxid::new(Epoch(1), 9), Bytes::from(vec![0u8; SYNC_CHUNK_BYTES * 2]))];
+        let chunks = sync_chunks(giant.clone());
+        assert_eq!(chunks.into_iter().flatten().collect::<Vec<_>>(), giant);
+    }
+
+    #[test]
+    fn large_diff_sync_streams_as_multiple_bounded_messages() {
+        // Establish with f2 only, grow a history too large for one sync
+        // message, then let f3 join fresh: its DIFF must arrive as several
+        // consecutive SyncDiff chunks closed by NEWLEADER, covering the
+        // whole tail in order.
+        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+        let a = l.handle(msg(
+            F2,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        complete_persists(&mut l, &a);
+        let a = l.handle(msg(
+            F2,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        complete_persists(&mut l, &a);
+        l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        assert!(l.is_established());
+        let payload = vec![0u8; SYNC_CHUNK_BYTES / 4];
+        for i in 1..=6u32 {
+            let a = l.handle(Input::ClientRequest { data: Bytes::from(payload.clone()) });
+            complete_persists(&mut l, &a);
+            l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), i) }));
+        }
+        let a = l.handle(msg(
+            F3,
+            Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        assert!(matches!(sends_to(&a, F3)[0], Message::NewEpoch { .. }));
+        let a = l.handle(msg(
+            F3,
+            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+        ));
+        let f3_msgs = sends_to(&a, F3);
+        let mut streamed: Vec<Txn> = Vec::new();
+        let mut diffs = 0usize;
+        for m in &f3_msgs {
+            match m {
+                Message::SyncDiff { txns } => {
+                    let bytes: usize = txns.iter().map(|t| t.data.len() + SYNC_TXN_OVERHEAD).sum();
+                    assert!(txns.len() == 1 || bytes <= SYNC_CHUNK_BYTES);
+                    streamed.extend(txns.iter().cloned());
+                    diffs += 1;
+                }
+                Message::NewLeader { .. } => break,
+                m => panic!("unexpected message in sync stream: {}", m.kind()),
+            }
+        }
+        assert!(diffs > 1, "6 × 256 KiB must not fit one sync message");
+        assert!(matches!(f3_msgs.last().expect("stream not empty"), Message::NewLeader { .. }));
+        assert_eq!(streamed.len(), 6);
+        assert!(streamed.windows(2).all(|w| w[0].zxid < w[1].zxid));
     }
 }

@@ -59,6 +59,11 @@ impl Harness {
         while let Some(a) = queue.pop_front() {
             match a {
                 Action::Send { to, msg } => self.net.push_back((id, to, msg)),
+                Action::Broadcast { to, msg } => {
+                    for t in to {
+                        self.net.push_back((id, t, msg.clone()));
+                    }
+                }
                 Action::Persist { token, .. } => {
                     let more = self.nodes.get_mut(&id).unwrap().handle(Input::Persisted { token });
                     // Completions run before later actions to mimic an

@@ -486,8 +486,18 @@ impl<A: Application> EventLoop<A> {
         self.clock.now_millis()
     }
 
+    /// Cap on events absorbed between two transport flushes (and two
+    /// ticker checks). Big enough that a saturated leader amortizes its
+    /// writes well, small enough that a tick is never more than a few
+    /// hundred cheap events late.
+    const DRAIN_BATCH: usize = 256;
+
     fn run(mut self) {
         self.begin_election();
+        // Election notifications queued during startup must hit the wire
+        // before the first blocking select, or every node sits corked
+        // waiting for everyone else's first move.
+        self.transport.flush();
         let ticker = crossbeam::channel::tick(Duration::from_millis(self.cfg.tick_ms));
         loop {
             // The ticker goes first: the select is biased toward earlier
@@ -507,47 +517,100 @@ impl<A: Application> EventLoop<A> {
                     self.maybe_dump_metrics(now_ms);
                 }
                 recv(self.commands_rx) -> cmd => match cmd {
-                    Ok(Command::Submit(request)) => self.on_submit(request),
-                    Ok(Command::Shutdown) | Err(_) => return,
-                },
-                recv(self.done_rx) -> done => match done {
-                    Ok(DiskDone::Flushed(token)) => {
-                        self.feed_zab(Input::Persisted { token });
-                    }
-                    Ok(DiskDone::Faulted { context, error }) => {
-                        self.enter_faulted(context, error);
-                    }
-                    Err(_) => {}
-                },
-                recv(self.transport.events()) -> ev => match ev {
-                    Ok(TransportEvent::Message { from, msg }) => {
-                        self.health.lock().peer_ok(from.0);
-                        match msg {
-                            TransportMsg::Zab(m) => {
-                                self.feed_zab(Input::Message { from, msg: m })
-                            }
-                            TransportMsg::Election(n) => self.feed_election(
-                                ElectionInput::Notification { from, notification: n },
-                            ),
+                    Ok(cmd) => {
+                        if !self.on_command(cmd) {
+                            return;
                         }
-                    },
-                    Ok(TransportEvent::PeerDisconnected { peer }) => {
-                        self.health.lock().peer_down(peer.0);
-                        self.feed_zab(Input::PeerDisconnected { peer });
-                    }
-                    Ok(TransportEvent::ConnectFailed { peer, attempt, error }) => {
-                        self.health.lock().peer_failed(peer.0, attempt);
-                        self.node_metrics.peer_unreachable.inc();
-                        let _ = self.events_tx.send(NodeEvent::PeerUnreachable {
-                            peer,
-                            attempt,
-                            error,
-                        });
                     }
                     Err(_) => return,
                 },
+                recv(self.done_rx) -> done => if let Ok(done) = done {
+                    self.on_disk_done(done);
+                },
+                recv(self.transport.events()) -> ev => match ev {
+                    Ok(ev) => self.on_transport_event(ev),
+                    Err(_) => return,
+                },
             }
+            // Opportunistic batch: handle whatever is already queued on
+            // the high-rate channels before flushing the transport, so a
+            // backlog of submits leaves as one vectored PROPOSE burst
+            // per peer (and a burst of proposals as one ACK batch)
+            // instead of a write syscall per message. An empty backlog
+            // skips straight to the flush — no added latency.
+            if !self.drain_backlog() {
+                return;
+            }
+            self.transport.flush();
             self.publish_role();
+        }
+    }
+
+    /// Non-blocking sweep of the submit / disk / transport channels, in
+    /// that priority order, bounded so ticks stay timely under overload.
+    /// Returns `false` when a shutdown command surfaced.
+    fn drain_backlog(&mut self) -> bool {
+        for _ in 0..Self::DRAIN_BATCH {
+            let cmd = self.commands_rx.try_recv();
+            if let Ok(cmd) = cmd {
+                if !self.on_command(cmd) {
+                    return false;
+                }
+                continue;
+            }
+            let done = self.done_rx.try_recv();
+            if let Ok(done) = done {
+                self.on_disk_done(done);
+                continue;
+            }
+            let ev = self.transport.events().try_recv();
+            if let Ok(ev) = ev {
+                self.on_transport_event(ev);
+                continue;
+            }
+            break;
+        }
+        true
+    }
+
+    /// Returns `false` on shutdown.
+    fn on_command(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Submit(request) => {
+                self.on_submit(request);
+                true
+            }
+            Command::Shutdown => false,
+        }
+    }
+
+    fn on_disk_done(&mut self, done: DiskDone) {
+        match done {
+            DiskDone::Flushed(token) => self.feed_zab(Input::Persisted { token }),
+            DiskDone::Faulted { context, error } => self.enter_faulted(context, error),
+        }
+    }
+
+    fn on_transport_event(&mut self, ev: TransportEvent) {
+        match ev {
+            TransportEvent::Message { from, msg } => {
+                self.health.lock().peer_ok(from.0);
+                match msg {
+                    TransportMsg::Zab(m) => self.feed_zab(Input::Message { from, msg: m }),
+                    TransportMsg::Election(n) => {
+                        self.feed_election(ElectionInput::Notification { from, notification: n })
+                    }
+                }
+            }
+            TransportEvent::PeerDisconnected { peer } => {
+                self.health.lock().peer_down(peer.0);
+                self.feed_zab(Input::PeerDisconnected { peer });
+            }
+            TransportEvent::ConnectFailed { peer, attempt, error } => {
+                self.health.lock().peer_failed(peer.0, attempt);
+                self.node_metrics.peer_unreachable.inc();
+                let _ = self.events_tx.send(NodeEvent::PeerUnreachable { peer, attempt, error });
+            }
         }
     }
 
@@ -644,7 +707,7 @@ impl<A: Application> EventLoop<A> {
         for a in acts {
             match a {
                 ElectionAction::Send { to, notification } => {
-                    self.transport.send(to, TransportMsg::Election(notification));
+                    self.transport.queue(to, TransportMsg::Election(notification));
                 }
                 ElectionAction::Decided { leader } => {
                     let recovered = self.storage.lock().recover();
@@ -688,7 +751,12 @@ impl<A: Application> EventLoop<A> {
     fn route_zab(&mut self, acts: Vec<Action>) {
         for a in acts {
             match a {
-                Action::Send { to, msg } => self.transport.send(to, TransportMsg::Zab(msg)),
+                Action::Send { to, msg } => self.transport.queue(to, TransportMsg::Zab(msg)),
+                Action::Broadcast { to, msg } => {
+                    // One encode, one frame, shared across every target's
+                    // write buffer.
+                    self.transport.queue_broadcast(&to, TransportMsg::Zab(msg));
+                }
                 Action::Persist { token, req } => {
                     let _ = self.disk_tx.send(DiskCmd::Persist(token, req));
                 }

@@ -954,6 +954,14 @@ impl Sim {
         for a in acts {
             match a {
                 Action::Send { to, msg } => self.send(id, to, Wire::Zab(msg)),
+                Action::Broadcast { to, msg } => {
+                    // Expand in the action's (sorted) target order so the
+                    // simulation stays deterministic and matches the
+                    // per-peer Send semantics exactly.
+                    for &t in &to {
+                        self.send(id, t, Wire::Zab(msg.clone()));
+                    }
+                }
                 Action::Persist { token, req } => {
                     let node = self.nodes.get_mut(&id).expect("known node");
                     if let Err(e) = node.storage.apply(&req) {

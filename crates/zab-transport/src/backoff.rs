@@ -1,0 +1,97 @@
+//! Capped exponential backoff with deterministic jitter for re-dials.
+
+use std::time::Duration;
+use zab_core::ServerId;
+
+/// First reconnect delay after a dial failure.
+pub(crate) const CONNECT_BASE_DELAY_MS: u64 = 10;
+/// Backoff ceiling.
+pub(crate) const CONNECT_MAX_DELAY_MS: u64 = 1_000;
+
+/// Capped exponential backoff with *deterministic* jitter: delays grow
+/// `base·2^attempt` up to the cap, each drawn uniformly from
+/// `[d/2, d]` by a splitmix64 stream seeded from the `(me, peer)` pair.
+/// Jitter decorrelates peers re-dialing a rebooted node (no thundering
+/// herd) while staying replayable: the same pair always produces the
+/// same delay sequence.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    state: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    pub(crate) fn new(me: ServerId, peer: ServerId) -> Backoff {
+        Backoff {
+            state: me.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ peer.0.rotate_left(32)
+                ^ 0xA076_1D64_78BD_642F,
+            attempt: 0,
+        }
+    }
+
+    fn splitmix(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Consecutive failures so far.
+    pub(crate) fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Delay before the next dial; advances the attempt counter.
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        let exp = CONNECT_BASE_DELAY_MS << self.attempt.min(16);
+        let capped = exp.min(CONNECT_MAX_DELAY_MS);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = capped / 2;
+        let jitter = self.splitmix() % (capped - half + 1);
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Back to the base delay (called on successful connect).
+    pub(crate) fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_to_cap_with_bounded_jitter() {
+        let mut b = Backoff::new(ServerId(1), ServerId(2));
+        let mut prev_floor = 0;
+        for attempt in 0..20u32 {
+            assert_eq!(b.attempt(), attempt);
+            let exp = (CONNECT_BASE_DELAY_MS << attempt.min(16)).min(CONNECT_MAX_DELAY_MS);
+            let d = b.next_delay().as_millis() as u64;
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "attempt {attempt}: {d}ms outside [{}, {exp}]",
+                exp / 2
+            );
+            assert!(exp / 2 >= prev_floor, "backoff floor regressed");
+            prev_floor = exp / 2;
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert!(b.next_delay() <= Duration::from_millis(CONNECT_BASE_DELAY_MS));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_pair_and_differs_across_pairs() {
+        let seq = |me, peer| {
+            let mut b = Backoff::new(ServerId(me), ServerId(peer));
+            (0..10).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(1, 2), seq(1, 2), "same pair must replay identically");
+        assert_ne!(seq(1, 2), seq(2, 1), "distinct pairs should decorrelate");
+        assert_ne!(seq(1, 2), seq(1, 3), "distinct pairs should decorrelate");
+    }
+}
