@@ -112,6 +112,13 @@ pub struct ClusterConfig {
     /// Client requests queued at the leader beyond the outstanding window;
     /// requests past this limit are rejected with back-pressure.
     pub request_queue_limit: usize,
+    /// Token-bucket budget (bytes of sync payload per second of driver
+    /// time) shared by every in-flight catch-up sync the leader is
+    /// shipping. Chunks past the budget wait for refills on `Tick`, so
+    /// concurrent rejoining followers cannot starve PROPOSE fan-out.
+    /// `0` disables pacing entirely: the whole sync plan is emitted in
+    /// one burst with no per-chunk acks (the pre-pacing behavior).
+    pub sync_rate_bytes_per_sec: u64,
 }
 
 impl ClusterConfig {
@@ -134,6 +141,7 @@ impl ClusterConfig {
             establish_timeout_ms: 2000,
             snap_threshold: 10_000,
             request_queue_limit: 100_000,
+            sync_rate_bytes_per_sec: 64 << 20,
         }
     }
 

@@ -105,6 +105,11 @@ pub enum Input {
     Compact {
         /// Compaction point (clamped to the delivered watermark).
         through: Zxid,
+        /// The application snapshot the driver compacted into, if it has
+        /// one. A leader retains it so a follower lagging behind the
+        /// compaction horizon can be served SNAP directly, without a
+        /// fresh `TakeSnapshot` round trip to the application.
+        snapshot: Option<Bytes>,
     },
 }
 

@@ -229,7 +229,7 @@ impl Follower {
                     self.abdicate("leader connection lost", &mut out);
                 }
             }
-            Input::Compact { through } => {
+            Input::Compact { through, .. } => {
                 let point = through.min(self.delivered_to);
                 if point > self.history.base() {
                     self.history.purge_through(point);
@@ -249,10 +249,17 @@ impl Follower {
     fn on_leader_message(&mut self, msg: Message, out: &mut Vec<Action>) {
         match msg {
             Message::NewEpoch { epoch } => self.on_new_epoch(epoch, out),
-            Message::SyncDiff { txns } => self.on_sync_txns(txns, out),
-            Message::SyncTrunc { truncate_to, txns } => self.on_sync_trunc(truncate_to, txns, out),
+            Message::SyncDiff { txns } => {
+                self.on_sync_txns(txns, out);
+                self.ack_sync_chunk(out);
+            }
+            Message::SyncTrunc { truncate_to, txns } => {
+                self.on_sync_trunc(truncate_to, txns, out);
+                self.ack_sync_chunk(out);
+            }
             Message::SyncSnap { snapshot, snapshot_zxid, txns } => {
-                self.on_sync_snap(snapshot, snapshot_zxid, txns, out)
+                self.on_sync_snap(snapshot, snapshot_zxid, txns, out);
+                self.ack_sync_chunk(out);
             }
             Message::NewLeader { epoch } => self.on_new_leader(epoch, out),
             Message::UpToDate { commit_to } => self.on_up_to_date(commit_to, out),
@@ -272,7 +279,8 @@ impl Follower {
             | Message::AckEpoch { .. }
             | Message::AckNewLeader { .. }
             | Message::Ack { .. }
-            | Message::Pong { .. } => {
+            | Message::Pong { .. }
+            | Message::SyncAck { .. } => {
                 self.abdicate("unexpected message from leader", out);
             }
         }
@@ -302,18 +310,31 @@ impl Follower {
         if !self.enter_sync(out) {
             return;
         }
-        if txns.is_empty() {
-            return;
-        }
-        for txn in &txns {
-            if txn.zxid <= self.history.last_zxid() {
-                self.abdicate("sync stream out of order", out);
+        let mut appended = Vec::new();
+        for txn in txns {
+            let last = self.history.last_zxid();
+            if txn.zxid <= last {
+                // A retransmitted chunk (the leader repeats a transmission
+                // whose ack got lost) overlaps what we already hold; the
+                // opening TRUNC/SNAP aligned our prefix with the leader's,
+                // so an already-held zxid is the same transaction.
+                continue;
+            }
+            // A forward jump that is not the immediate successor means the
+            // link swallowed part of the stream — appending would leave a
+            // silent hole below the commit watermark we are about to adopt.
+            if !txn.zxid.follows(last) {
+                self.abdicate("sync stream leaves a gap", out);
                 return;
             }
             self.history.append(txn.clone());
+            appended.push(txn);
+        }
+        if appended.is_empty() {
+            return;
         }
         let token = self.token_unpending();
-        out.push(Action::Persist { token, req: PersistRequest::AppendTxns(txns) });
+        out.push(Action::Persist { token, req: PersistRequest::AppendTxns(appended) });
     }
 
     fn on_sync_trunc(&mut self, truncate_to: Zxid, txns: Vec<Txn>, out: &mut Vec<Action>) {
@@ -386,12 +407,36 @@ impl Follower {
         PersistToken(self.next_token)
     }
 
+    /// Flow-control acknowledgement for one sync-stream chunk (paced
+    /// catch-up, leader side gates the next chunk on it). Sent on
+    /// receipt, not durability — pacing bounds the wire backlog, while
+    /// durability of the whole stream is still gated by `ACKNEWLEADER`.
+    /// Suppressed once `NEWLEADER` arrived (the stream is over) or after
+    /// a violation ended the incarnation.
+    fn ack_sync_chunk(&mut self, out: &mut Vec<Action>) {
+        if self.phase == (Phase::Syncing { acked_new_leader: false }) {
+            out.push(Action::Send {
+                to: self.leader,
+                msg: Message::SyncAck { last_zxid: self.history.last_zxid() },
+            });
+        }
+    }
+
     /// Transitions Discovering → Syncing on the first sync message (the
     /// established leader's fast path skips NEWEPOCH). Returns false if the
     /// automaton is in the wrong phase (violation already reported).
     fn enter_sync(&mut self, out: &mut Vec<Action>) -> bool {
         match self.phase {
             Phase::Syncing { acked_new_leader: false } => true,
+            Phase::Syncing { acked_new_leader: true } => {
+                // The leader reopened our sync: it detected from our
+                // ACKNEWLEADER that the previous stream was damaged in
+                // transit, or it is renudging after a stalled stream.
+                // Re-arm chunk acks and fold the new stream in (the
+                // duplicate-NEWLEADER that follows re-acks harmlessly).
+                self.phase = Phase::Syncing { acked_new_leader: false };
+                true
+            }
             Phase::Discovering => {
                 self.phase = Phase::Syncing { acked_new_leader: false };
                 true
@@ -597,7 +642,8 @@ mod tests {
         let a2 = complete_persists(&mut f, &a);
         assert!(matches!(sends(&a2)[0], Message::AckEpoch { .. }));
         let a = f.handle(msg(Message::SyncDiff { txns: vec![] }));
-        assert!(a.is_empty());
+        // Every sync chunk is flow-control acked on receipt.
+        assert_eq!(sends(&a), vec![&Message::SyncAck { last_zxid: Zxid::ZERO }]);
         let a = f.handle(msg(Message::NewLeader { epoch: Epoch(1) }));
         let a2 = complete_persists(&mut f, &a);
         assert!(matches!(sends(&a2)[0], Message::AckNewLeader { .. }));

@@ -72,6 +72,108 @@ fn sync_chunks(txns: Vec<Txn>) -> Vec<Vec<Txn>> {
     chunks
 }
 
+/// Budgeted payload bytes of one sync chunk (what the token bucket and
+/// the `core.sync_bytes_sent` counter account).
+fn chunk_cost(chunk: &[Txn]) -> u64 {
+    chunk.iter().map(|t| (t.data.len() + SYNC_TXN_OVERHEAD) as u64).sum()
+}
+
+/// Token-bucket capacity for paced sync shipping: at least one second of
+/// budget, and never smaller than a couple of maximal chunks so a single
+/// oversized transaction can always ship once the bucket fills.
+fn config_sync_burst(config: &ClusterConfig) -> u64 {
+    config.sync_rate_bytes_per_sec.max((2 * SYNC_CHUNK_BYTES) as u64)
+}
+
+/// Live progress of a peer's catch-up sync, for observability
+/// (`/health` on a node driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncProgress {
+    /// The syncing peer.
+    pub peer: ServerId,
+    /// Sync chunks not yet shipped to it.
+    pub chunks_remaining: u64,
+    /// Budgeted payload bytes in those chunks.
+    pub bytes_remaining: u64,
+}
+
+/// Cursor over the unshipped tail of a paced sync stream.
+///
+/// The plan's opening message (`SyncDiff`/`SyncTrunc`/`SyncSnap` with the
+/// first chunk) always goes out immediately; each later chunk is released
+/// only after the previous one is `SyncAck`ed *and* the shared token
+/// bucket has budget for it, so a herd of rejoining followers trickles
+/// instead of bursting its entire missing history into socket buffers.
+/// `NEWLEADER` ships together with the final chunk. An empty `remaining`
+/// means the stream is fully shipped and the peer is awaiting activation.
+#[derive(Debug)]
+struct SyncSession {
+    /// Chunks not yet shipped, in zxid order.
+    remaining: VecDeque<Vec<Txn>>,
+    /// The last transmission, not yet `SyncAck`ed: the exact messages to
+    /// retransmit if the link swallowed them, and the history point whose
+    /// ack proves receipt. `None` once acked (or for a fully shipped
+    /// stream awaiting `ACKNEWLEADER`).
+    outstanding: Option<(Vec<Message>, Zxid)>,
+    /// A release was deferred for lack of tokens; retried on `Tick`.
+    throttled: bool,
+    /// When the stream last moved (opened, chunk shipped, or acked);
+    /// a stalled stream is retransmitted after `follower_timeout_ms`.
+    last_progress_ms: u64,
+    /// `NEWLEADER` has shipped: the stream no longer extends toward the
+    /// live commit frontier, and broadcast traffic queues for the
+    /// activation flush.
+    newleader_sent: bool,
+    /// Gap to the commit frontier when the stream last extended past its
+    /// plan, and how many consecutive extensions failed to shrink it.
+    last_gap: Option<u64>,
+    gap_growth: u8,
+    /// Convergence escape hatch: the gap grew across consecutive
+    /// extensions (the configured sync rate sits below the live append
+    /// byte rate), so the throttle can never let the stream finish.
+    /// Express releases stay ack-gated and charge the bucket, but fill
+    /// transmissions to the burst budget and are never deferred.
+    express: bool,
+}
+
+impl SyncSession {
+    /// A fully shipped stream (nothing left to pace; `NEWLEADER` is out
+    /// and `ACKNEWLEADER` is awaited).
+    fn shipped(now_ms: u64) -> SyncSession {
+        SyncSession {
+            remaining: VecDeque::new(),
+            outstanding: None,
+            throttled: false,
+            last_progress_ms: now_ms,
+            newleader_sent: true,
+            last_gap: None,
+            gap_growth: 0,
+            express: false,
+        }
+    }
+}
+
+/// Budgeted payload bytes of a (re)transmitted sync message: its chunk,
+/// plus the snapshot body for a SNAP opening.
+fn sync_wire_cost(msg: &Message) -> u64 {
+    match msg {
+        Message::SyncDiff { txns } | Message::SyncTrunc { txns, .. } => chunk_cost(txns),
+        Message::SyncSnap { snapshot, txns, .. } => snapshot.len() as u64 + chunk_cost(txns),
+        _ => 0,
+    }
+}
+
+/// The highest zxid a sync message carries (the point whose `SyncAck`
+/// confirms its receipt).
+fn sync_msg_end(msg: &Message) -> Option<Zxid> {
+    match msg {
+        Message::SyncDiff { txns }
+        | Message::SyncTrunc { txns, .. }
+        | Message::SyncSnap { txns, .. } => txns.last().map(|t| t.zxid),
+        _ => None,
+    }
+}
+
 /// Externally visible leader phase, for tests and observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeaderStatus {
@@ -109,9 +211,11 @@ enum PeerState {
     EpochAcked { last_zxid: Zxid },
     /// Needs a SNAP sync; waiting for the application snapshot.
     AwaitingSnapshot,
-    /// Sync stream + `NEWLEADER` sent; traffic generated meanwhile is
-    /// queued. `plan_end` is the history tail covered by the sync stream.
-    Syncing { queue: Vec<Message>, plan_end: Zxid },
+    /// Sync stream opened; traffic generated meanwhile is queued.
+    /// `plan_end` is the history tail covered by the sync stream;
+    /// `session` paces the unshipped chunk tail (`NEWLEADER` rides with
+    /// the final chunk).
+    Syncing { queue: Vec<Message>, plan_end: Zxid, session: SyncSession },
     /// Fully synced and activated; `acked` is its cumulative ack watermark.
     Active { acked: Zxid },
 }
@@ -168,6 +272,15 @@ pub struct Leader {
     outstanding: usize,
     /// True while a `TakeSnapshot` request is with the application.
     snapshot_pending: bool,
+    /// Latest application snapshot this incarnation knows about (from a
+    /// driver compaction or a completed `TakeSnapshot`), with the zxid it
+    /// covers. Serves SNAP syncs for lag behind the compaction horizon
+    /// without a fresh application round trip.
+    retained_snapshot: Option<(Bytes, Zxid)>,
+    /// Token-bucket balance for paced sync shipping, in payload bytes.
+    sync_tokens: u64,
+    /// Driver time of the last token refill.
+    last_sync_refill_ms: u64,
     now_ms: u64,
     started_ms: u64,
     last_ping_ms: u64,
@@ -202,6 +315,7 @@ impl Leader {
         let delivered_to = applied_to.max(state.history.base());
         let self_vote = (state.current_epoch, state.history.last_zxid());
         let self_acked = state.history.last_zxid();
+        let sync_burst = config_sync_burst(&config);
         let mut l = Leader {
             id,
             config,
@@ -222,6 +336,9 @@ impl Leader {
             pending_requests: VecDeque::new(),
             outstanding: 0,
             snapshot_pending: false,
+            retained_snapshot: None,
+            sync_tokens: sync_burst,
+            last_sync_refill_ms: now_ms,
             now_ms,
             started_ms: now_ms,
             last_ping_ms: now_ms,
@@ -347,10 +464,18 @@ impl Leader {
                 self.peers.remove(&peer);
                 self.ack_ld.remove(&peer);
             }
-            Input::Compact { through } => {
+            Input::Compact { through, snapshot } => {
                 let point = through.min(self.delivered_to);
                 if point > self.history.base() {
                     self.history.purge_through(point);
+                }
+                // Retain the compaction snapshot: it is the only thing
+                // that can serve a follower whose lag now predates the
+                // compaction horizon.
+                if let Some(snap) = snapshot {
+                    if through <= self.delivered_to {
+                        self.retained_snapshot = Some((snap, through));
+                    }
                 }
             }
         }
@@ -359,6 +484,7 @@ impl Leader {
 
     fn on_tick(&mut self, now_ms: u64, out: &mut Vec<Action>) {
         self.now_ms = now_ms;
+        self.pace_syncs(now_ms, out);
         if self.phase != Phase::Broadcasting
             && now_ms.saturating_sub(self.started_ms) > self.config.establish_timeout_ms
         {
@@ -406,6 +532,7 @@ impl Leader {
                 self.on_ack_new_leader(from, epoch, last_zxid, out)
             }
             Message::Ack { zxid } => self.on_ack(from, zxid, out),
+            Message::SyncAck { last_zxid } => self.on_sync_ack(from, last_zxid, out),
             Message::Pong { .. } => {
                 // Contact timestamp already refreshed above.
             }
@@ -598,44 +725,328 @@ impl Leader {
         let plan = self.history.plan_sync(follower_last, self.config.snap_threshold);
         match plan {
             SyncPlan::Snap => {
-                self.peers.get_mut(&from).expect("peer exists").state = PeerState::AwaitingSnapshot;
-                if !self.snapshot_pending {
-                    self.snapshot_pending = true;
-                    out.push(Action::TakeSnapshot);
+                // Lag behind the compaction horizon (or past the SNAP
+                // threshold): serve from the retained snapshot when it can
+                // still be stitched to the log suffix, otherwise ask the
+                // application for a fresh one.
+                let retained = self
+                    .retained_snapshot
+                    .clone()
+                    .filter(|&(_, z)| z >= self.history.base() && z <= self.history.last_zxid());
+                if let Some((snap, z)) = retained {
+                    self.serve_snapshot(from, snap, z, out);
+                } else {
+                    self.peers.get_mut(&from).expect("peer exists").state =
+                        PeerState::AwaitingSnapshot;
+                    if !self.snapshot_pending {
+                        self.snapshot_pending = true;
+                        out.push(Action::TakeSnapshot);
+                    }
                 }
             }
             SyncPlan::Diff { txns } => {
-                let mut chunks = sync_chunks(txns).into_iter();
-                let first = chunks.next().expect("at least one chunk");
-                out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: first } });
-                for chunk in chunks {
-                    out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: chunk } });
-                }
-                self.finish_sync_stream(from, out);
+                self.metrics.diff_syncs.inc();
+                let mut chunks: VecDeque<Vec<Txn>> = sync_chunks(txns).into();
+                let first = chunks.pop_front().expect("at least one chunk");
+                self.charge_sync(chunk_cost(&first));
+                self.ship_or_pace(from, Message::SyncDiff { txns: first }, chunks, out);
             }
             SyncPlan::Trunc { truncate_to, txns } => {
-                let mut chunks = sync_chunks(txns).into_iter();
-                let first = chunks.next().expect("at least one chunk");
-                out.push(Action::Send {
-                    to: from,
-                    msg: Message::SyncTrunc { truncate_to, txns: first },
-                });
-                for chunk in chunks {
-                    out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: chunk } });
-                }
-                self.finish_sync_stream(from, out);
+                self.metrics.diff_syncs.inc();
+                let mut chunks: VecDeque<Vec<Txn>> = sync_chunks(txns).into();
+                let first = chunks.pop_front().expect("at least one chunk");
+                self.charge_sync(chunk_cost(&first));
+                self.ship_or_pace(
+                    from,
+                    Message::SyncTrunc { truncate_to, txns: first },
+                    chunks,
+                    out,
+                );
             }
         }
     }
 
+    /// Opens a SNAP stream to `to` from `snapshot` (covering up to
+    /// `zxid`), with the retained log suffix chunked behind it.
+    fn serve_snapshot(&mut self, to: ServerId, snapshot: Bytes, zxid: Zxid, out: &mut Vec<Action>) {
+        self.metrics.snap_syncs.inc();
+        let mut chunks: VecDeque<Vec<Txn>> =
+            sync_chunks(self.history.txns_after(zxid).to_vec()).into();
+        let first = chunks.pop_front().expect("at least one chunk");
+        self.charge_sync(snapshot.len() as u64 + chunk_cost(&first));
+        self.ship_or_pace(
+            to,
+            Message::SyncSnap { snapshot, snapshot_zxid: zxid, txns: first },
+            chunks,
+            out,
+        );
+    }
+
+    /// Sends a plan's opening message and disposes of its unshipped chunk
+    /// tail: emits it all at once when pacing is disabled (or nothing
+    /// remains), otherwise parks it in a paced session gated on per-chunk
+    /// `SyncAck`s and the shared token bucket. The opening message stays
+    /// retransmittable until acked.
+    fn ship_or_pace(
+        &mut self,
+        from: ServerId,
+        opening: Message,
+        remaining: VecDeque<Vec<Txn>>,
+        out: &mut Vec<Action>,
+    ) {
+        out.push(Action::Send { to: from, msg: opening.clone() });
+        if self.config.sync_rate_bytes_per_sec == 0 || remaining.is_empty() {
+            for chunk in remaining {
+                self.charge_sync(chunk_cost(&chunk));
+                out.push(Action::Send { to: from, msg: Message::SyncDiff { txns: chunk } });
+            }
+            self.finish_sync_stream(from, out);
+        } else {
+            let end = sync_msg_end(&opening).expect("paced opening chunk is non-empty");
+            let now_ms = self.now_ms;
+            self.peers.get_mut(&from).expect("peer exists").state = PeerState::Syncing {
+                queue: Vec::new(),
+                plan_end: self.history.last_zxid(),
+                session: SyncSession {
+                    remaining,
+                    outstanding: Some((vec![opening], end)),
+                    throttled: false,
+                    last_progress_ms: now_ms,
+                    newleader_sent: false,
+                    last_gap: None,
+                    gap_growth: 0,
+                    express: false,
+                },
+            };
+        }
+    }
+
+    /// Deducts sync payload from the token bucket and accounts it. The
+    /// opening message of every plan is charged but never deferred, so a
+    /// sync always starts promptly; the bucket going (transiently)
+    /// negative just delays the paced tail.
+    fn charge_sync(&mut self, cost: u64) {
+        self.sync_tokens = self.sync_tokens.saturating_sub(cost);
+        self.metrics.sync_bytes_sent.add(cost);
+    }
+
     fn finish_sync_stream(&mut self, from: ServerId, out: &mut Vec<Action>) {
         out.push(Action::Send { to: from, msg: Message::NewLeader { epoch: self.epoch } });
-        self.peers.get_mut(&from).expect("peer exists").state =
-            PeerState::Syncing { queue: Vec::new(), plan_end: self.history.last_zxid() };
+        let now_ms = self.now_ms;
+        self.peers.get_mut(&from).expect("peer exists").state = PeerState::Syncing {
+            queue: Vec::new(),
+            plan_end: self.history.last_zxid(),
+            session: SyncSession::shipped(now_ms),
+        };
+    }
+
+    /// A follower acknowledged a sync chunk: release the next one if the
+    /// token bucket allows, else mark the session throttled for `Tick`.
+    /// Acks below the outstanding transmission's end are stale (a
+    /// retransmitted chunk produces one per copy received) and ignored.
+    fn on_sync_ack(&mut self, from: ServerId, last_zxid: Zxid, out: &mut Vec<Action>) {
+        let now_ms = self.now_ms;
+        let Some(peer) = self.peers.get_mut(&from) else { return };
+        let PeerState::Syncing { session, .. } = &mut peer.state else { return };
+        match &session.outstanding {
+            Some((_, end)) if last_zxid >= *end => {
+                session.outstanding = None;
+                session.last_progress_ms = now_ms;
+            }
+            _ => return,
+        }
+        self.try_release_chunk(from, out);
+    }
+
+    /// Ships the next chunk of `from`'s paced session when it is neither
+    /// waiting for an ack nor out of budget. When the planned chunks
+    /// drain, the stream chases the live commit frontier: a large gap
+    /// (history appended while the sync was in flight) extends the paced
+    /// stream with fresh chunks, a small one rides along with `NEWLEADER`
+    /// in the final transmission. That keeps the activation flush bounded
+    /// to the post-`NEWLEADER` round-trip window instead of every
+    /// proposal broadcast during the whole catch-up.
+    fn try_release_chunk(&mut self, from: ServerId, out: &mut Vec<Action>) {
+        let burst = config_sync_burst(&self.config);
+        let tokens = self.sync_tokens;
+        let epoch = self.epoch;
+        let now_ms = self.now_ms;
+        let history_end = self.history.last_zxid();
+        let Some(peer) = self.peers.get_mut(&from) else { return };
+        let PeerState::Syncing { plan_end, session, .. } = &mut peer.state else { return };
+        if session.outstanding.is_some() {
+            return;
+        }
+        let Some(front) = session.remaining.front() else { return };
+        // `cost.min(burst)` guarantees progress even for a chunk larger
+        // than the bucket (a single oversized transaction): it ships once
+        // the bucket is full. Express chases skip the gate (but are still
+        // charged): deferring them would livelock the catch-up.
+        let mut cost = chunk_cost(front);
+        if !session.express && tokens < cost.min(burst) {
+            session.throttled = true;
+            return;
+        }
+        session.throttled = false;
+        let chunk = session.remaining.pop_front().expect("chunk peeked above");
+        let mut end = chunk.last().expect("paced chunks are non-empty").zxid;
+        let mut msgs = vec![Message::SyncDiff { txns: chunk }];
+        if session.express {
+            // Express transmissions fill up to the burst budget: the
+            // chase must outrun the live append rate to terminate, and
+            // per-turn output stays bounded by the operator's burst.
+            while cost < burst {
+                let Some(front) = session.remaining.front() else { break };
+                let next = chunk_cost(front);
+                if cost + next > burst {
+                    break;
+                }
+                let txns = session.remaining.pop_front().expect("chunk peeked above");
+                end = txns.last().expect("paced chunks are non-empty").zxid;
+                cost += next;
+                msgs.push(Message::SyncDiff { txns });
+            }
+        }
+        if session.remaining.is_empty() {
+            let tail = self.history.txns_after(*plan_end);
+            let gap = chunk_cost(tail);
+            if gap > SYNC_CHUNK_BYTES as u64 {
+                session.remaining = sync_chunks(tail.to_vec()).into();
+                // Convergence guard: a gap that keeps growing across
+                // extensions means the configured rate sits below the
+                // live append byte rate — no amount of throttled chasing
+                // finishes that stream. Go express rather than livelock.
+                match session.last_gap {
+                    Some(prev) if gap >= prev => {
+                        session.gap_growth = session.gap_growth.saturating_add(1)
+                    }
+                    _ => session.gap_growth = 0,
+                }
+                if session.gap_growth >= 2 {
+                    session.express = true;
+                }
+                session.last_gap = Some(gap);
+            } else {
+                if let Some(last) = tail.last() {
+                    end = last.zxid;
+                    for txns in sync_chunks(tail.to_vec()) {
+                        if txns.is_empty() {
+                            continue;
+                        }
+                        cost += chunk_cost(&txns);
+                        msgs.push(Message::SyncDiff { txns });
+                    }
+                }
+                msgs.push(Message::NewLeader { epoch });
+                session.newleader_sent = true;
+            }
+            *plan_end = history_end;
+        }
+        for msg in &msgs {
+            out.push(Action::Send { to: from, msg: msg.clone() });
+        }
+        session.outstanding = Some((msgs, end));
+        session.last_progress_ms = now_ms;
+        self.charge_sync(cost);
+    }
+
+    /// Tick-driven half of sync pacing: refill the token bucket from the
+    /// configured rate, retry every throttled session, and retransmit
+    /// streams that stalled for a follower-timeout (the link swallowed a
+    /// chunk, its ack, or the trailing `NEWLEADER` — without this, leader
+    /// and follower ping-pong forever with the sync wedged).
+    fn pace_syncs(&mut self, now_ms: u64, out: &mut Vec<Action>) {
+        let rate = self.config.sync_rate_bytes_per_sec;
+        let dt_ms = now_ms.saturating_sub(self.last_sync_refill_ms);
+        self.last_sync_refill_ms = now_ms;
+        if rate == 0 {
+            return;
+        }
+        if dt_ms > 0 {
+            let refill = rate.saturating_mul(dt_ms) / 1000;
+            self.sync_tokens =
+                self.sync_tokens.saturating_add(refill).min(config_sync_burst(&self.config));
+        }
+        let stall_ms = self.config.follower_timeout_ms;
+        enum Wake {
+            /// Tokens may have refilled; retry a throttled release.
+            Retry,
+            /// The outstanding transmission stalled; resend it verbatim.
+            Resend(Vec<Message>),
+            /// Fully shipped but `ACKNEWLEADER` never came; renudge with
+            /// `NEWLEADER` (a stale re-ack triggers a sync restart).
+            Nudge,
+        }
+        let wakes: Vec<(ServerId, Wake)> = self
+            .peers
+            .iter()
+            .filter_map(|(&id, p)| {
+                let PeerState::Syncing { session, .. } = &p.state else { return None };
+                let stalled = now_ms.saturating_sub(session.last_progress_ms) >= stall_ms;
+                match &session.outstanding {
+                    Some((msgs, _)) if stalled => Some((id, Wake::Resend(msgs.clone()))),
+                    None if session.remaining.is_empty() && stalled => Some((id, Wake::Nudge)),
+                    None if session.throttled => Some((id, Wake::Retry)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let epoch = self.epoch;
+        for (id, wake) in wakes {
+            match wake {
+                Wake::Retry => self.try_release_chunk(id, out),
+                Wake::Resend(msgs) => {
+                    // Accounted in the wire-bytes metric but exempt from
+                    // the bucket: recovery traffic is rare and bounded
+                    // (one transmission per stall window), and charging it
+                    // would let one dead follower starve live catch-ups.
+                    for msg in msgs {
+                        self.metrics.sync_bytes_sent.add(sync_wire_cost(&msg));
+                        out.push(Action::Send { to: id, msg });
+                    }
+                    self.stamp_sync_progress(id, now_ms);
+                }
+                Wake::Nudge => {
+                    out.push(Action::Send { to: id, msg: Message::NewLeader { epoch } });
+                    self.stamp_sync_progress(id, now_ms);
+                }
+            }
+        }
+    }
+
+    fn stamp_sync_progress(&mut self, id: ServerId, now_ms: u64) {
+        if let Some(Peer { state: PeerState::Syncing { session, .. }, .. }) =
+            self.peers.get_mut(&id)
+        {
+            session.last_progress_ms = now_ms;
+        }
+    }
+
+    /// Peers with an open catch-up sync and the work left to ship them.
+    /// Peers awaiting the application snapshot report zero remaining
+    /// (their stream has not been planned yet).
+    pub fn syncing_peers(&self) -> Vec<SyncProgress> {
+        self.peers
+            .iter()
+            .filter_map(|(&id, p)| match &p.state {
+                PeerState::Syncing { session, .. } => Some(SyncProgress {
+                    peer: id,
+                    chunks_remaining: session.remaining.len() as u64,
+                    bytes_remaining: session.remaining.iter().map(|c| chunk_cost(c)).sum(),
+                }),
+                PeerState::AwaitingSnapshot => {
+                    Some(SyncProgress { peer: id, chunks_remaining: 0, bytes_remaining: 0 })
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     fn on_snapshot_ready(&mut self, snapshot: Bytes, zxid: Zxid, out: &mut Vec<Action>) {
         self.snapshot_pending = false;
+        // A fresh application snapshot supersedes whatever compaction
+        // left behind.
+        self.retained_snapshot = Some((snapshot.clone(), zxid));
         let waiting: Vec<ServerId> = self
             .peers
             .iter()
@@ -645,20 +1056,7 @@ impl Leader {
             })
             .collect();
         for id in waiting {
-            let mut chunks = sync_chunks(self.history.txns_after(zxid).to_vec()).into_iter();
-            let first = chunks.next().expect("at least one chunk");
-            out.push(Action::Send {
-                to: id,
-                msg: Message::SyncSnap {
-                    snapshot: snapshot.clone(),
-                    snapshot_zxid: zxid,
-                    txns: first,
-                },
-            });
-            for chunk in chunks {
-                out.push(Action::Send { to: id, msg: Message::SyncDiff { txns: chunk } });
-            }
-            self.finish_sync_stream(id, out);
+            self.serve_snapshot(id, snapshot.clone(), zxid, out);
         }
     }
 
@@ -672,9 +1070,19 @@ impl Leader {
         if epoch != self.epoch {
             return;
         }
-        let syncing =
-            matches!(self.peers.get(&from).map(|p| &p.state), Some(PeerState::Syncing { .. }));
-        if !syncing {
+        let plan_end = match self.peers.get(&from).map(|p| &p.state) {
+            Some(PeerState::Syncing { plan_end, .. }) => *plan_end,
+            _ => return,
+        };
+        if last_zxid < plan_end {
+            // The follower adopted the epoch but its history stops short
+            // of the sync plan: part of the stream was lost in transit
+            // (e.g. a connection reset swallowed the DIFF while the
+            // trailing NEWLEADER survived on the fresh link). Activating
+            // it would hand it a commit watermark covering transactions
+            // it does not hold — restart the sync from what it actually
+            // has instead.
+            self.start_sync(from, last_zxid, out);
             return;
         }
         self.ack_ld.insert(from);
@@ -733,7 +1141,7 @@ impl Leader {
         let peer = self.peers.get_mut(&from).expect("peer exists");
         let (queue, plan_end) =
             match std::mem::replace(&mut peer.state, PeerState::Active { acked }) {
-                PeerState::Syncing { queue, plan_end } => (queue, plan_end),
+                PeerState::Syncing { queue, plan_end, .. } => (queue, plan_end),
                 other => {
                     peer.state = other;
                     return;
@@ -797,7 +1205,15 @@ impl Leader {
         for (&id, peer) in self.peers.iter_mut() {
             match &mut peer.state {
                 PeerState::Active { .. } => active.push(id),
-                PeerState::Syncing { queue, .. } => queue.push(msg.clone()),
+                // Until `NEWLEADER` ships, the paced stream covers new
+                // history itself by extending from the log (see
+                // `try_release_chunk`); queueing the proposal too would
+                // duplicate it and grow the activation flush without
+                // bound under sustained load. Dropped COMMITs are
+                // covered by `UPTODATE`'s commit watermark.
+                PeerState::Syncing { queue, session, .. } if session.newleader_sent => {
+                    queue.push(msg.clone());
+                }
                 _ => {}
             }
         }
@@ -1437,13 +1853,10 @@ mod tests {
         assert_eq!(chunks.into_iter().flatten().collect::<Vec<_>>(), giant);
     }
 
-    #[test]
-    fn large_diff_sync_streams_as_multiple_bounded_messages() {
-        // Establish with f2 only, grow a history too large for one sync
-        // message, then let f3 join fresh: its DIFF must arrive as several
-        // consecutive SyncDiff chunks closed by NEWLEADER, covering the
-        // whole tail in order.
-        let (mut l, _) = Leader::new(ME, cfg(), PersistentState::default(), Zxid::ZERO, 0);
+    /// Establishes a leader under `config` with only F2 attached, then
+    /// commits `n` txns of `payload_bytes` each (F2 acks everything).
+    fn leader_with_history(config: ClusterConfig, n: u32, payload_bytes: usize) -> Leader {
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
         let a = l.handle(msg(
             F2,
             Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
@@ -1456,39 +1869,431 @@ mod tests {
         complete_persists(&mut l, &a);
         l.handle(msg(F2, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
         assert!(l.is_established());
-        let payload = vec![0u8; SYNC_CHUNK_BYTES / 4];
-        for i in 1..=6u32 {
+        let payload = vec![0u8; payload_bytes];
+        for i in 1..=n {
             let a = l.handle(Input::ClientRequest { data: Bytes::from(payload.clone()) });
             complete_persists(&mut l, &a);
             l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), i) }));
         }
+        l
+    }
+
+    /// Feeds F3's FOLLOWERINFO + ACKEPOCH and returns the actions of the
+    /// ACKEPOCH step (where the sync stream opens).
+    fn join_f3(l: &mut Leader) -> Vec<Action> {
         let a = l.handle(msg(
             F3,
             Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
         ));
         assert!(matches!(sends_to(&a, F3)[0], Message::NewEpoch { .. }));
-        let a = l.handle(msg(
-            F3,
-            Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
-        ));
+        l.handle(msg(F3, Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO }))
+    }
+
+    #[test]
+    fn large_diff_sync_streams_as_acked_bounded_chunks() {
+        // Establish with f2 only, grow a history too large for one sync
+        // message, then let f3 join fresh: its DIFF opens with the first
+        // bounded chunk, and each further chunk is released only after
+        // the previous one is SYNCACKed, with NEWLEADER riding on the
+        // final chunk — the whole tail covered in order.
+        let mut l = leader_with_history(cfg(), 6, SYNC_CHUNK_BYTES / 4);
+        let a = join_f3(&mut l);
         let f3_msgs = sends_to(&a, F3);
+        assert_eq!(f3_msgs.len(), 1, "paced stream opens with exactly one chunk");
         let mut streamed: Vec<Txn> = Vec::new();
         let mut diffs = 0usize;
-        for m in &f3_msgs {
-            match m {
-                Message::SyncDiff { txns } => {
-                    let bytes: usize = txns.iter().map(|t| t.data.len() + SYNC_TXN_OVERHEAD).sum();
-                    assert!(txns.len() == 1 || bytes <= SYNC_CHUNK_BYTES);
-                    streamed.extend(txns.iter().cloned());
-                    diffs += 1;
+        match f3_msgs[0] {
+            Message::SyncDiff { txns } => {
+                streamed.extend(txns.iter().cloned());
+                diffs += 1;
+            }
+            m => panic!("expected SyncDiff, got {}", m.kind()),
+        }
+        // Ack each chunk; the leader releases the next until NEWLEADER.
+        let mut done = false;
+        while !done {
+            assert!(diffs < 16, "sync stream failed to terminate");
+            let last = streamed.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO);
+            let a = l.handle(msg(F3, Message::SyncAck { last_zxid: last }));
+            for m in sends_to(&a, F3) {
+                match m {
+                    Message::SyncDiff { txns } => {
+                        let bytes: usize =
+                            txns.iter().map(|t| t.data.len() + SYNC_TXN_OVERHEAD).sum();
+                        assert!(txns.len() == 1 || bytes <= SYNC_CHUNK_BYTES);
+                        streamed.extend(txns.iter().cloned());
+                        diffs += 1;
+                    }
+                    Message::NewLeader { .. } => done = true,
+                    m => panic!("unexpected message in sync stream: {}", m.kind()),
                 }
-                Message::NewLeader { .. } => break,
-                m => panic!("unexpected message in sync stream: {}", m.kind()),
             }
         }
         assert!(diffs > 1, "6 × 256 KiB must not fit one sync message");
-        assert!(matches!(f3_msgs.last().expect("stream not empty"), Message::NewLeader { .. }));
         assert_eq!(streamed.len(), 6);
         assert!(streamed.windows(2).all(|w| w[0].zxid < w[1].zxid));
+        // The stream is fully shipped: progress reports zero remaining.
+        let progress = l.syncing_peers();
+        assert_eq!(progress.len(), 1);
+        assert_eq!((progress[0].peer, progress[0].chunks_remaining), (F3, 0));
+        // Activation completes as usual.
+        let a =
+            l.handle(msg(F3, Message::AckNewLeader { epoch: Epoch(1), last_zxid: l.last_zxid() }));
+        assert!(matches!(sends_to(&a, F3)[0], Message::UpToDate { .. }));
+        assert!(l.syncing_peers().is_empty());
+    }
+
+    #[test]
+    fn pacing_disabled_streams_whole_diff_in_one_burst() {
+        // sync_rate_bytes_per_sec = 0 restores the legacy behavior: every
+        // chunk plus NEWLEADER in a single batch, no acks required.
+        let mut config = cfg();
+        config.sync_rate_bytes_per_sec = 0;
+        let mut l = leader_with_history(config, 6, SYNC_CHUNK_BYTES / 4);
+        let a = join_f3(&mut l);
+        let f3_msgs = sends_to(&a, F3);
+        let diffs = f3_msgs.iter().filter(|m| matches!(m, Message::SyncDiff { .. })).count();
+        assert!(diffs > 1, "unpaced multi-chunk stream ships at once");
+        assert!(matches!(f3_msgs.last().expect("stream not empty"), Message::NewLeader { .. }));
+        let total: usize = f3_msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::SyncDiff { txns } => Some(txns.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn paced_sync_throttles_until_tick_refills_budget() {
+        // With a 1 MiB/s budget the burst floor (2 maximal chunks) covers
+        // the opening chunk and one release; the third chunk must wait for
+        // tick-driven refills.
+        let mut config = cfg();
+        config.sync_rate_bytes_per_sec = 1 << 20;
+        let mut l = leader_with_history(config, 12, SYNC_CHUNK_BYTES / 4);
+        let a = join_f3(&mut l);
+        assert_eq!(sends_to(&a, F3).len(), 1, "opening chunk only");
+        // Ack 1 → chunk 2 released from the remaining burst budget.
+        let a = l.handle(msg(F3, Message::SyncAck { last_zxid: Zxid::new(Epoch(1), 3) }));
+        assert!(matches!(sends_to(&a, F3)[0], Message::SyncDiff { .. }));
+        // Ack 2 → bucket is dry: chunk 3 is deferred, not sent.
+        let a = l.handle(msg(F3, Message::SyncAck { last_zxid: Zxid::new(Epoch(1), 6) }));
+        assert!(sends_to(&a, F3).is_empty(), "throttled: no chunk until refill");
+        let progress = l.syncing_peers();
+        assert_eq!(progress.len(), 1);
+        assert_eq!(progress[0].chunks_remaining, 2);
+        assert!(progress[0].bytes_remaining > 0);
+        // 100 ms refills ~105 KiB — still short of a ~768 KiB chunk.
+        let a = l.handle(Input::Tick { now_ms: 100 });
+        assert!(
+            !sends_to(&a, F3).iter().any(|m| matches!(m, Message::SyncDiff { .. })),
+            "insufficient refill must not release the chunk"
+        );
+        // Keep peers fresh while virtual time advances, then refill enough.
+        let mut released_at = None;
+        for t in (200..=1200).step_by(100) {
+            l.handle(msg(F2, Message::Pong { last_zxid: l.last_zxid() }));
+            l.handle(msg(F3, Message::Pong { last_zxid: Zxid::new(Epoch(1), 6) }));
+            let a = l.handle(Input::Tick { now_ms: t });
+            if sends_to(&a, F3).iter().any(|m| matches!(m, Message::SyncDiff { .. })) {
+                released_at = Some(t);
+                break;
+            }
+        }
+        let released_at = released_at.expect("refill must eventually release the chunk");
+        assert!(released_at >= 300, "a ~768 KiB chunk needs ≥ ~700 ms at 1 MiB/s minus leftovers");
+        assert_eq!(l.syncing_peers()[0].chunks_remaining, 1);
+    }
+
+    #[test]
+    fn paced_sync_extends_plan_over_live_traffic_and_bounds_activation_flush() {
+        // A follower that rejoins under live load must not have every
+        // concurrent proposal queued behind its sync for one giant
+        // activation burst (a burst that can stall the leader past the
+        // follower timeout and wedge the cluster in re-elections).
+        // Instead the paced stream chases the commit frontier by
+        // extending itself from history, ack-gated, and only traffic
+        // broadcast after NEWLEADER ships waits for the flush.
+        fn record(actions: &[Action], streamed: &mut Vec<Txn>, seen_newleader: &mut bool) {
+            for m in sends_to(actions, F3) {
+                match m {
+                    Message::SyncDiff { txns } => streamed.extend(txns.iter().cloned()),
+                    Message::NewLeader { .. } => *seen_newleader = true,
+                    Message::Propose { .. } => panic!("proposal sent to a peer mid-sync"),
+                    _ => {}
+                }
+            }
+        }
+        let mut config = cfg();
+        // The whole 7 MiB stream fits the initial 8 MiB bucket, so this
+        // test isolates plan extension from throttling.
+        config.sync_rate_bytes_per_sec = 8 << 20;
+        let quarter = SYNC_CHUNK_BYTES / 4;
+        let mut l = leader_with_history(config, 8, quarter);
+        let mut streamed: Vec<Txn> = Vec::new();
+        let mut seen_newleader = false;
+        let a = join_f3(&mut l);
+        record(&a, &mut streamed, &mut seen_newleader);
+        // While the sync is in flight, live load commits another five
+        // MiB — well past the cutover threshold of the original plan.
+        let payload = vec![0u8; quarter];
+        for i in 9..=28u32 {
+            let a = l.handle(Input::ClientRequest { data: Bytes::from(payload.clone()) });
+            let b = complete_persists(&mut l, &a);
+            record(&a, &mut streamed, &mut seen_newleader);
+            record(&b, &mut streamed, &mut seen_newleader);
+            let a = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), i) }));
+            record(&a, &mut streamed, &mut seen_newleader);
+        }
+        // Ack chunk by chunk: the stream must outgrow its plan and still
+        // terminate with NEWLEADER at the frontier.
+        let mut rounds = 0usize;
+        while !seen_newleader {
+            rounds += 1;
+            assert!(rounds < 64, "extended sync stream failed to terminate");
+            let last = streamed.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO);
+            let a = l.handle(msg(F3, Message::SyncAck { last_zxid: last }));
+            record(&a, &mut streamed, &mut seen_newleader);
+        }
+        assert_eq!(streamed.len(), 28, "extension must cover the live-load txns");
+        assert!(streamed.windows(2).all(|w| w[0].zxid < w[1].zxid));
+        // One proposal lands in the post-NEWLEADER round-trip window:
+        // that (and only that) is activation-flush traffic.
+        let a = l.handle(Input::ClientRequest { data: Bytes::from(vec![7u8; 8]) });
+        complete_persists(&mut l, &a);
+        assert!(sends_to(&a, F3).is_empty(), "post-NEWLEADER traffic queues for the flush");
+        let a = l.handle(msg(
+            F3,
+            Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::new(Epoch(1), 28) },
+        ));
+        let to_f3 = sends_to(&a, F3);
+        assert!(matches!(to_f3[0], Message::UpToDate { .. }));
+        assert!(
+            to_f3.iter().any(|m| matches!(
+                m,
+                Message::Propose { txn, .. } if txn.zxid == Zxid::new(Epoch(1), 29)
+            )),
+            "the round-trip-window proposal flushes at activation"
+        );
+        assert_eq!(to_f3.len(), 2, "the flush covers only the round-trip window");
+        assert!(l.syncing_peers().is_empty());
+    }
+
+    #[test]
+    fn underprovisioned_sync_rate_goes_express_instead_of_livelocking() {
+        // Live load appending faster than `sync_rate_bytes_per_sec` can
+        // ship means a strictly throttled stream never closes the gap:
+        // the follower would sync forever (and its unsent backlog grow
+        // without bound). The session must notice the growing gap and go
+        // express — ack-gated, burst-bounded transmissions exempt from
+        // the bucket — so the catch-up still terminates.
+        let mut config = cfg();
+        config.sync_rate_bytes_per_sec = 2 << 20;
+        let quarter = SYNC_CHUNK_BYTES / 4;
+        let mut l = leader_with_history(config.clone(), 6, quarter);
+        let mut streamed: Vec<Txn> = Vec::new();
+        let mut seen_newleader = false;
+        let mut saw_multi_diff = false;
+        let record = |actions: &[Action],
+                      streamed: &mut Vec<Txn>,
+                      seen_newleader: &mut bool,
+                      saw_multi_diff: &mut bool| {
+            let mut diffs_in_turn = 0usize;
+            for m in sends_to(actions, F3) {
+                match m {
+                    Message::SyncDiff { txns } => {
+                        diffs_in_turn += 1;
+                        // Stall retransmits duplicate; keep novel txns only.
+                        let last = streamed.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO);
+                        streamed.extend(txns.iter().filter(|t| t.zxid > last).cloned());
+                    }
+                    Message::NewLeader { .. } => *seen_newleader = true,
+                    _ => {}
+                }
+            }
+            if diffs_in_turn >= 2 {
+                *saw_multi_diff = true;
+            }
+        };
+        let a = join_f3(&mut l);
+        record(&a, &mut streamed, &mut seen_newleader, &mut saw_multi_diff);
+        let payload = vec![0u8; quarter];
+        let mut appended = 6u32;
+        let mut t = 0u64;
+        let mut iters = 0usize;
+        while !seen_newleader {
+            iters += 1;
+            assert!(iters < 100, "express chase failed to terminate the stream");
+            // ~6.5 MiB/s of live appends against a 2 MiB/s sync rate that
+            // also still owes the whole backlog: the gap widens every
+            // extension until the guard trips. Express showing up
+            // (multi-chunk transmissions) is the cue to ease the load —
+            // a closed loop would have slowed long before this too.
+            if !saw_multi_diff {
+                for _ in 0..5 {
+                    appended += 1;
+                    let a = l.handle(Input::ClientRequest { data: Bytes::from(payload.clone()) });
+                    complete_persists(&mut l, &a);
+                    l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), appended) }));
+                }
+            }
+            // Steps stay under the 400 ms contact timeout (pongs stamp at
+            // the pre-tick clock).
+            t += 200;
+            l.handle(msg(F2, Message::Pong { last_zxid: l.last_zxid() }));
+            l.handle(msg(F3, Message::Pong { last_zxid: Zxid::ZERO }));
+            let a = l.handle(Input::Tick { now_ms: t });
+            record(&a, &mut streamed, &mut seen_newleader, &mut saw_multi_diff);
+            let last = streamed.last().map(|t| t.zxid).unwrap_or(Zxid::ZERO);
+            let a = l.handle(msg(F3, Message::SyncAck { last_zxid: last }));
+            record(&a, &mut streamed, &mut seen_newleader, &mut saw_multi_diff);
+        }
+        assert!(saw_multi_diff, "the convergence guard must engage express mode");
+        assert_eq!(streamed.len(), appended as usize, "the stream covers every append");
+        assert!(streamed.windows(2).all(|w| w[0].zxid < w[1].zxid));
+        let a = l.handle(msg(
+            F3,
+            Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::new(Epoch(1), appended) },
+        ));
+        assert!(matches!(sends_to(&a, F3)[0], Message::UpToDate { .. }));
+        assert!(l.syncing_peers().is_empty());
+    }
+
+    #[test]
+    fn concurrent_syncs_share_the_token_budget() {
+        // Two followers rejoining at once draw from one bucket: after both
+        // opening chunks the budget admits only one release per refill, so
+        // the second release (id order) waits for more tokens.
+        let mut config = ClusterConfig::majority([
+            ServerId(1),
+            ServerId(2),
+            ServerId(3),
+            ServerId(4),
+            ServerId(5),
+        ]);
+        config.sync_rate_bytes_per_sec = 1 << 20;
+        let f4 = ServerId(4);
+        let f5 = ServerId(5);
+        let (mut l, _) = Leader::new(ME, config, PersistentState::default(), Zxid::ZERO, 0);
+        for f in [F2, f5] {
+            let a = l.handle(msg(
+                f,
+                Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+            ));
+            complete_persists(&mut l, &a);
+        }
+        for f in [F2, f5] {
+            let a = l.handle(msg(
+                f,
+                Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+            ));
+            complete_persists(&mut l, &a);
+        }
+        for f in [F2, f5] {
+            l.handle(msg(f, Message::AckNewLeader { epoch: Epoch(1), last_zxid: Zxid::ZERO }));
+        }
+        assert!(l.is_established());
+        let payload = vec![0u8; SYNC_CHUNK_BYTES / 4];
+        for i in 1..=12u32 {
+            let a = l.handle(Input::ClientRequest { data: Bytes::from(payload.clone()) });
+            complete_persists(&mut l, &a);
+            l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), i) }));
+            l.handle(msg(f5, Message::Ack { zxid: Zxid::new(Epoch(1), i) }));
+        }
+        // F3 and F4 join together; each gets its opening chunk.
+        for f in [F3, f4] {
+            let _ = l.handle(msg(
+                f,
+                Message::FollowerInfo { accepted_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+            ));
+            let a = l.handle(msg(
+                f,
+                Message::AckEpoch { current_epoch: Epoch::ZERO, last_zxid: Zxid::ZERO },
+            ));
+            assert!(matches!(sends_to(&a, f)[0], Message::SyncDiff { .. }));
+        }
+        // Both ack: the shared bucket (2 MiB burst − 2 openings) has no
+        // room left, so both sessions throttle.
+        for f in [F3, f4] {
+            let a = l.handle(msg(f, Message::SyncAck { last_zxid: Zxid::new(Epoch(1), 3) }));
+            assert!(sends_to(&a, f).is_empty(), "bucket drained by the two openings");
+        }
+        assert_eq!(l.syncing_peers().len(), 2);
+        // One refill window admits one chunk at a time, so the two
+        // sessions serialize instead of bursting together (lower id first).
+        let mut f3_at = None;
+        let mut f4_at = None;
+        for t in (400..=2400).step_by(400) {
+            for f in [F2, F3, f4, f5] {
+                l.handle(msg(f, Message::Pong { last_zxid: l.last_zxid() }));
+            }
+            let a = l.handle(Input::Tick { now_ms: t });
+            if f3_at.is_none()
+                && sends_to(&a, F3).iter().any(|m| matches!(m, Message::SyncDiff { .. }))
+            {
+                f3_at = Some(t);
+            }
+            if f4_at.is_none()
+                && sends_to(&a, f4).iter().any(|m| matches!(m, Message::SyncDiff { .. }))
+            {
+                f4_at = Some(t);
+            }
+        }
+        let f3_at = f3_at.expect("f3's next chunk must release");
+        let f4_at = f4_at.expect("f4's next chunk must release");
+        assert!(f3_at < f4_at, "a shared bucket serializes concurrent sync releases");
+    }
+
+    #[test]
+    fn retained_compaction_snapshot_serves_snap_without_app_round_trip() {
+        // After Compact hands the leader a snapshot, a follower lagging
+        // behind the compaction horizon is served SNAP directly from it —
+        // no TakeSnapshot round trip — stitched to the retained log tail.
+        let mut config = cfg();
+        config.snap_threshold = 1;
+        let mut l = leader_with_history(config, 3, 8);
+        assert_eq!(l.last_committed(), Zxid::new(Epoch(1), 3));
+        let a = l.handle(Input::Compact {
+            through: Zxid::new(Epoch(1), 2),
+            snapshot: Some(Bytes::from_static(b"compacted-state")),
+        });
+        assert!(a.is_empty());
+        let a = join_f3(&mut l);
+        assert!(
+            !a.iter().any(|x| matches!(x, Action::TakeSnapshot)),
+            "retained snapshot must be served without an app round trip"
+        );
+        let f3_msgs = sends_to(&a, F3);
+        match f3_msgs[0] {
+            Message::SyncSnap { snapshot, snapshot_zxid, txns } => {
+                assert_eq!(snapshot.as_ref(), b"compacted-state");
+                assert_eq!(*snapshot_zxid, Zxid::new(Epoch(1), 2));
+                // The tail past the horizon rides along.
+                assert_eq!(txns.len(), 1);
+                assert_eq!(txns[0].zxid, Zxid::new(Epoch(1), 3));
+            }
+            m => panic!("expected SyncSnap, got {}", m.kind()),
+        }
+        assert!(matches!(f3_msgs[1], Message::NewLeader { .. }));
+        assert_eq!(l.metrics.snap_syncs.get(), 1);
+        assert_eq!(l.metrics.sync_bytes_sent.get() as usize, b"compacted-state".len() + 8 + 64);
+    }
+
+    #[test]
+    fn sync_chunks_split_exactly_at_budget_boundary() {
+        // Four txns whose budgeted costs sum to exactly the chunk budget
+        // stay together; one extra byte forces a split after three.
+        let unit = SYNC_CHUNK_BYTES / 4 - SYNC_TXN_OVERHEAD;
+        let txns: Vec<Txn> = (1..=4)
+            .map(|i| Txn::new(Zxid::new(Epoch(1), i), Bytes::from(vec![0u8; unit])))
+            .collect();
+        assert_eq!(sync_chunks(txns.clone()).len(), 1, "exact fit must not split");
+        let mut over = txns;
+        over[3] = Txn::new(Zxid::new(Epoch(1), 4), Bytes::from(vec![0u8; unit + 1]));
+        let chunks = sync_chunks(over);
+        assert_eq!(chunks.len(), 2, "one byte over the budget splits");
+        assert_eq!((chunks[0].len(), chunks[1].len()), (3, 1));
     }
 }

@@ -67,7 +67,7 @@ pub use config::{ClusterConfig, MajorityQuorum, QuorumSystem, WeightedQuorum};
 pub use events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 pub use follower::{Follower, FollowerStatus};
 pub use history::{History, SyncPlan};
-pub use leader::{Leader, LeaderStatus};
+pub use leader::{Leader, LeaderStatus, SyncProgress};
 pub use messages::Message;
 pub use metrics::CoreMetrics;
 pub use types::{Epoch, ServerId, Txn, Zxid};
@@ -75,6 +75,10 @@ pub use types::{Epoch, ServerId, Txn, Zxid};
 /// The role a process plays after an election, wrapping the corresponding
 /// automaton. Drivers construct one per election outcome and feed it
 /// [`Input`]s until it emits [`Action::GoToElection`].
+// One automaton exists per process, never in collections, so the
+// Leader/Follower size gap is irrelevant and boxing would only add an
+// indirection to every input.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Zab {
     /// This process was nominated leader.
@@ -171,6 +175,15 @@ impl Zab {
         match self {
             Zab::Leader(l) => l.persistent_state(),
             Zab::Follower(f) => f.persistent_state(),
+        }
+    }
+
+    /// Peers this process is currently catch-up syncing (leaders only;
+    /// followers always report none).
+    pub fn syncing_peers(&self) -> Vec<SyncProgress> {
+        match self {
+            Zab::Leader(l) => l.syncing_peers(),
+            Zab::Follower(_) => Vec::new(),
         }
     }
 }

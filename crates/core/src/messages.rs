@@ -134,6 +134,14 @@ pub enum Message {
         /// Follower's last accepted zxid (for observability).
         last_zxid: Zxid,
     },
+    /// Phase 2 (f → l): flow-control ack for one sync-stream chunk. The
+    /// leader releases the next `SyncDiff` chunk of a paced sync session
+    /// only after the previous chunk is acknowledged, so a slow follower
+    /// never accumulates its whole missing history in socket buffers.
+    SyncAck {
+        /// Tail of the follower's history after applying the chunk.
+        last_zxid: Zxid,
+    },
 }
 
 // Wire tags. Stable: appended-to only.
@@ -156,6 +164,8 @@ const TAG_PONG: u8 = 14;
 /// [`Zxid::ZERO`], i.e. "no information") so mixed-version ensembles
 /// interoperate during a rolling upgrade.
 const TAG_PROPOSE_COMMIT: u8 = 15;
+/// Sync-stream chunk acknowledgement (paced catch-up flow control).
+const TAG_SYNC_ACK: u8 = 16;
 
 fn put_txns(buf: &mut Vec<u8>, txns: &[Txn]) {
     buf.put_u32_le_wire(txns.len() as u32);
@@ -192,6 +202,7 @@ impl Message {
             Message::Commit { .. } => "COMMIT",
             Message::Ping { .. } => "PING",
             Message::Pong { .. } => "PONG",
+            Message::SyncAck { .. } => "SYNCACK",
         }
     }
 
@@ -270,6 +281,10 @@ impl Message {
                 buf.put_u8_wire(TAG_PONG);
                 buf.put_u64_le_wire(last_zxid.0);
             }
+            Message::SyncAck { last_zxid } => {
+                buf.put_u8_wire(TAG_SYNC_ACK);
+                buf.put_u64_le_wire(last_zxid.0);
+            }
         }
     }
 
@@ -339,6 +354,7 @@ impl Message {
             TAG_COMMIT => Message::Commit { zxid: Zxid(cur.get_u64_le_wire()?) },
             TAG_PING => Message::Ping { last_committed: Zxid(cur.get_u64_le_wire()?) },
             TAG_PONG => Message::Pong { last_zxid: Zxid(cur.get_u64_le_wire()?) },
+            TAG_SYNC_ACK => Message::SyncAck { last_zxid: Zxid(cur.get_u64_le_wire()?) },
             tag => return Err(WireError::InvalidTag { tag, context: "Message" }),
         };
         Ok(msg)
@@ -376,6 +392,7 @@ mod tests {
             Message::Commit { zxid: Zxid::new(Epoch(4), 1) },
             Message::Ping { last_committed: Zxid::new(Epoch(4), 1) },
             Message::Pong { last_zxid: Zxid::new(Epoch(4), 1) },
+            Message::SyncAck { last_zxid: Zxid::new(Epoch(4), 1) },
         ]
     }
 
@@ -416,7 +433,7 @@ mod tests {
         // all_variants has duplicate kinds (two SyncDiff and two Propose
         // cases).
         let unique: std::collections::BTreeSet<&str> = kinds.iter().copied().collect();
-        assert_eq!(unique.len(), 14);
+        assert_eq!(unique.len(), 15);
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct CoreMetrics {
     pub quorum_ack_latency_ms: Arc<Histogram>,
     /// Proposals in flight (proposed, not yet committed).
     pub outstanding_depth: Arc<Gauge>,
+    /// Payload bytes shipped in sync-stream messages (DIFF/TRUNC/SNAP
+    /// chunks, including snapshot bytes), leader side.
+    pub sync_bytes_sent: Arc<Counter>,
+    /// Catch-up syncs served via full snapshot (SNAP).
+    pub snap_syncs: Arc<Counter>,
+    /// Catch-up syncs served via log replay (DIFF or TRUNC).
+    pub diff_syncs: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -48,6 +55,9 @@ impl CoreMetrics {
             proposals_committed: Arc::new(Counter::default()),
             quorum_ack_latency_ms: Arc::new(Histogram::default()),
             outstanding_depth: Arc::new(Gauge::default()),
+            sync_bytes_sent: Arc::new(Counter::default()),
+            snap_syncs: Arc::new(Counter::default()),
+            diff_syncs: Arc::new(Counter::default()),
         }
     }
 
@@ -61,6 +71,9 @@ impl CoreMetrics {
             proposals_committed: reg.counter("core.proposals_committed"),
             quorum_ack_latency_ms: reg.histogram("core.quorum_ack_latency_ms"),
             outstanding_depth: reg.gauge("core.outstanding_depth"),
+            sync_bytes_sent: reg.counter("core.sync_bytes_sent"),
+            snap_syncs: reg.counter("core.snap_syncs"),
+            diff_syncs: reg.counter("core.diff_syncs"),
         }
     }
 }

@@ -5,8 +5,9 @@
 //!
 //! - `GET /metrics` — the replica's full [`zab_metrics::Snapshot`] in
 //!   Prometheus text exposition format,
-//! - `GET /health` — role, epoch, last-committed zxid, and per-peer
-//!   reachability as one JSON object,
+//! - `GET /health` — role, epoch, last-committed zxid, per-peer
+//!   reachability, and in-flight catch-up syncs (peer id plus chunks and
+//!   bytes left to ship) as one JSON object,
 //! - `GET /trace?last=N` — the flight recorder's current contents as
 //!   Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`),
 //!   optionally limited to the newest `N` events.
@@ -41,6 +42,20 @@ pub(crate) struct HealthState {
     pub last_committed: u64,
     /// Per-peer reachability, keyed by server id.
     pub peers: BTreeMap<u64, PeerHealth>,
+    /// Peers this replica is catch-up syncing right now (leaders only;
+    /// empty elsewhere). Mirrors [`zab_core::Leader::syncing_peers`].
+    pub syncing: Vec<SyncingPeer>,
+}
+
+/// Live progress of one peer's catch-up sync, as served by `/health`.
+#[derive(Debug, Clone)]
+pub(crate) struct SyncingPeer {
+    /// The syncing peer's server id.
+    pub peer: u64,
+    /// Sync chunks not yet shipped to it.
+    pub chunks_remaining: u64,
+    /// Budgeted payload bytes in those chunks.
+    pub bytes_remaining: u64,
 }
 
 /// What this replica currently knows about one peer's channel.
@@ -59,6 +74,7 @@ impl HealthState {
         HealthState {
             last_committed: 0,
             peers: peers.into_iter().map(|p| (p, PeerHealth::default())).collect(),
+            syncing: Vec::new(),
         }
     }
 
@@ -227,9 +243,9 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
 
 fn health_json(node: u64, role: &Mutex<Role>, health: &Mutex<HealthState>) -> String {
     let role = *role.lock();
-    let (last_committed, peers) = {
+    let (last_committed, peers, syncing) = {
         let h = health.lock();
-        (h.last_committed, h.peers.clone())
+        (h.last_committed, h.peers.clone(), h.syncing.clone())
     };
     // `active` means "serving its role": an established leader or a
     // synced follower. `leader` is null while looking or faulted.
@@ -269,7 +285,18 @@ fn health_json(node: u64, role: &Mutex<Role>, health: &Mutex<HealthState>) -> St
             ph.reachable, ph.failed_attempts
         );
     }
-    out.push_str("}}");
+    out.push_str("},\"syncing\":[");
+    for (i, s) in syncing.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"peer\":{},\"chunks_remaining\":{},\"bytes_remaining\":{}}}",
+            s.peer, s.chunks_remaining, s.bytes_remaining
+        );
+    }
+    out.push_str("]}");
     out
 }
 
@@ -343,12 +370,20 @@ mod tests {
         health.lock().peer_ok(2);
         health.lock().peer_failed(3, 4);
         health.lock().last_committed = (4 << 32) | 9;
+        health.lock().syncing =
+            vec![SyncingPeer { peer: 3, chunks_remaining: 2, bytes_remaining: 4096 }];
         let (head, body) = get(server.addr(), "/health");
         assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
         assert!(body.contains("\"role\":\"looking\""), "body: {body}");
         assert!(body.contains("\"last_committed\":\"4:9\""), "body: {body}");
         assert!(body.contains("\"2\":{\"reachable\":true,\"failed_attempts\":0}"), "body: {body}");
         assert!(body.contains("\"3\":{\"reachable\":false,\"failed_attempts\":5}"), "body: {body}");
+        assert!(
+            body.contains(
+                "\"syncing\":[{\"peer\":3,\"chunks_remaining\":2,\"bytes_remaining\":4096}]"
+            ),
+            "body: {body}"
+        );
     }
 
     #[test]

@@ -23,8 +23,12 @@ pub struct NodeConfig {
     /// Event-loop tick period in milliseconds.
     pub tick_ms: u64,
     /// Compact the log into a snapshot every `k` applied transactions
-    /// (ZooKeeper's snapCount); `None` disables compaction.
+    /// (ZooKeeper's snapCount); `None` disables the count trigger.
     pub snapshot_every: Option<u64>,
+    /// Compact the log into a snapshot once the applied payload bytes
+    /// since the last compaction exceed this; `None` disables the bytes
+    /// trigger. Either threshold firing compacts and resets both.
+    pub snapshot_bytes: Option<u64>,
     /// Periodically dump a JSON metrics snapshot to this file (written
     /// via a temp file + rename, so readers never see a torn dump);
     /// `None` disables dumping.
@@ -68,6 +72,7 @@ impl NodeConfig {
             data_dir: None,
             tick_ms: 5,
             snapshot_every: None,
+            snapshot_bytes: None,
             metrics_dump_path: None,
             metrics_dump_every_ms: 1000,
             submit_window: None,
@@ -96,6 +101,13 @@ impl NodeConfig {
     /// Enables periodic log compaction every `k` applied transactions.
     pub fn with_snapshot_every(mut self, k: u64) -> NodeConfig {
         self.snapshot_every = Some(k);
+        self
+    }
+
+    /// Enables periodic log compaction once `bytes` of applied payload
+    /// accumulate since the last compaction.
+    pub fn with_snapshot_bytes(mut self, bytes: u64) -> NodeConfig {
+        self.snapshot_bytes = Some(bytes);
         self
     }
 

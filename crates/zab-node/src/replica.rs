@@ -1,6 +1,6 @@
 //! The replica event loop.
 
-use crate::admin::{AdminServer, HealthState};
+use crate::admin::{AdminServer, HealthState, SyncingPeer};
 use crate::apps::Application;
 use crate::config::NodeConfig;
 use crate::metrics::NodeMetrics;
@@ -323,6 +323,7 @@ impl<A: Application> Replica<A> {
             faulted: false,
             clock,
             applied_since_compact: 0,
+            applied_bytes_since_compact: 0,
             registry: Arc::clone(&metrics),
             core_metrics: CoreMetrics::registered(&metrics),
             node_metrics: NodeMetrics::registered(&metrics),
@@ -454,6 +455,7 @@ struct EventLoop<A: Application> {
     /// correctly across election restarts and role changes.
     clock: Arc<dyn Clock>,
     applied_since_compact: u64,
+    applied_bytes_since_compact: u64,
     registry: Arc<Registry>,
     core_metrics: CoreMetrics,
     node_metrics: NodeMetrics,
@@ -789,13 +791,20 @@ impl<A: Application> EventLoop<A> {
                             );
                         }
                     }
+                    let payload_bytes = txn.data.len() as u64;
                     let _ = self.events_tx.send(NodeEvent::Delivered(txn));
                     self.applied_since_compact += 1;
-                    if let Some(every) = self.cfg.snapshot_every {
-                        if self.applied_since_compact >= every {
-                            self.applied_since_compact = 0;
-                            self.compact();
-                        }
+                    self.applied_bytes_since_compact += payload_bytes;
+                    let count_due = self
+                        .cfg
+                        .snapshot_every
+                        .is_some_and(|every| self.applied_since_compact >= every);
+                    let bytes_due = self
+                        .cfg
+                        .snapshot_bytes
+                        .is_some_and(|bytes| self.applied_bytes_since_compact >= bytes);
+                    if count_due || bytes_due {
+                        self.compact();
                     }
                 }
                 Action::InstallSnapshot { snapshot, zxid } => {
@@ -851,12 +860,14 @@ impl<A: Application> EventLoop<A> {
     /// compaction behind all pending log appends, and drop the matching
     /// in-memory history prefix.
     fn compact(&mut self) {
+        self.applied_since_compact = 0;
+        self.applied_bytes_since_compact = 0;
         let (snapshot, through) = {
             let app = self.app.lock();
             (Bytes::from(app.snapshot()), app.applied_to())
         };
-        let _ = self.disk_tx.send(DiskCmd::Compact { snapshot, through });
-        self.feed_zab(Input::Compact { through });
+        let _ = self.disk_tx.send(DiskCmd::Compact { snapshot: snapshot.clone(), through });
+        self.feed_zab(Input::Compact { through, snapshot: Some(snapshot) });
     }
 
     fn on_submit(&mut self, request: Vec<u8>) {
@@ -904,7 +915,19 @@ impl<A: Application> EventLoop<A> {
 
     fn publish_role(&mut self) {
         if let Some(zab) = &self.zab {
-            self.health.lock().last_committed = zab.last_committed().0;
+            let mut h = self.health.lock();
+            h.last_committed = zab.last_committed().0;
+            h.syncing = zab
+                .syncing_peers()
+                .into_iter()
+                .map(|p| SyncingPeer {
+                    peer: p.peer.0,
+                    chunks_remaining: p.chunks_remaining,
+                    bytes_remaining: p.bytes_remaining,
+                })
+                .collect();
+        } else {
+            self.health.lock().syncing.clear();
         }
         let role = self.current_role();
         let is_primary = matches!(role, Role::Leading { established: true, .. });

@@ -138,6 +138,7 @@ pub struct SimBuilder {
     follower_timeout_ms: u64,
     leader_timeout_ms: u64,
     compact_every: Option<u64>,
+    sync_rate_bytes_per_sec: Option<u64>,
     trace_capacity: usize,
 }
 
@@ -159,6 +160,7 @@ impl SimBuilder {
             follower_timeout_ms: 400,
             leader_timeout_ms: 400,
             compact_every: None,
+            sync_rate_bytes_per_sec: None,
             trace_capacity: 4096,
         }
     }
@@ -207,6 +209,14 @@ impl SimBuilder {
         self
     }
 
+    /// Catch-up sync shipping budget in bytes/second shared by all
+    /// concurrent syncs (0 disables pacing); `None` keeps the
+    /// [`ClusterConfig`] default.
+    pub fn sync_rate(mut self, bytes_per_sec: u64) -> Self {
+        self.sync_rate_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
     /// Flight-recorder capacity per node, in events (bounded memory; the
     /// ring overwrites the oldest events once full).
     pub fn trace_capacity(mut self, events: usize) -> Self {
@@ -232,6 +242,9 @@ impl SimBuilder {
         cluster.ping_interval_ms = self.ping_interval_ms;
         cluster.follower_timeout_ms = self.follower_timeout_ms;
         cluster.leader_timeout_ms = self.leader_timeout_ms;
+        if let Some(rate) = self.sync_rate_bytes_per_sec {
+            cluster.sync_rate_bytes_per_sec = rate;
+        }
         let election_cfg = ElectionConfig::new(ids.clone());
         let trace_clock = Arc::new(ManualClock::new());
         let mut sim = Sim {
@@ -723,7 +736,8 @@ impl Sim {
                 | Message::Ack { .. }
                 | Message::Commit { .. }
                 | Message::Ping { .. }
-                | Message::Pong { .. } => 9,
+                | Message::Pong { .. }
+                | Message::SyncAck { .. } => 9,
                 // tag + watermark + zxid + len prefix + payload.
                 Message::Propose { txn, .. } => 21 + txn.data.len(),
                 Message::SyncDiff { txns } => {
@@ -994,12 +1008,18 @@ impl Sim {
                             node.delivered_since_compact = 0;
                             let snapshot = Bytes::from(node.app.snapshot());
                             let through = node.app.last_zxid();
-                            if let Err(e) = node.storage.compact(snapshot, through) {
+                            if let Err(e) = node.storage.compact(snapshot.clone(), through) {
                                 assert_io_fault(&e);
                                 self.storage_fault(id);
                                 return;
                             }
-                            inbox.push_back((id, LocalInput::Zab(Input::Compact { through })));
+                            inbox.push_back((
+                                id,
+                                LocalInput::Zab(Input::Compact {
+                                    through,
+                                    snapshot: Some(snapshot),
+                                }),
+                            ));
                         }
                     }
                     self.workload_on_delivered(id, &txn);

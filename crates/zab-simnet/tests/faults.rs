@@ -253,6 +253,41 @@ fn periodic_compaction_with_lagging_follower_snap_resync() {
 }
 
 #[test]
+fn paced_snap_catch_up_past_compaction_horizon() {
+    // The full recovery gauntlet: a follower crashes under a saturated
+    // pipeline, the survivors keep committing and compact the log far past
+    // the point the victim fell behind, and the rejoin must be served SNAP
+    // from the retained snapshot — shipped in paced chunks under a tight
+    // shared sync budget — while PROPOSE fan-out continues. Catch-up must
+    // terminate with the victim byte-identical to the majority.
+    let mut sim = SimBuilder::new(5)
+        .seed(14)
+        .compact_every(Some(50))
+        .snap_threshold(50)
+        .sync_rate(512 * 1024)
+        .build();
+    let leader = sim.run_until_leader(10 * SEC).expect("leader");
+    let victim = sim.members().into_iter().find(|&m| m != leader).expect("a follower");
+    sim.install_closed_loop(ClosedLoopSpec::saturating(8, 1024, 600));
+    sim.run_until_completed(100, 30 * SEC);
+    sim.crash(victim);
+    // The log grows well past both the compaction cadence and the
+    // DIFF-vs-SNAP threshold while the victim is down.
+    sim.run_until_completed(500, 120 * SEC);
+    sim.restart(victim);
+    assert!(sim.run_until_completed(600, 240 * SEC), "load did not finish past the rejoin");
+    sim.run_for(5 * SEC);
+    sim.check_invariants().unwrap();
+    sim.check_converged().unwrap();
+    assert_eq!(sim.applied_log(victim).len(), 600);
+    // The catch-up crossed the compaction horizon, so it cannot have been
+    // a DIFF: some leader must have served a snapshot sync.
+    let snap_syncs: u64 =
+        sim.members().iter().map(|&id| sim.node_metrics(id).counter("core.snap_syncs")).sum();
+    assert!(snap_syncs >= 1, "rejoin behind the compaction horizon must SNAP-sync");
+}
+
+#[test]
 fn compaction_survives_crash_recovery() {
     // Compacted nodes recover from snapshot + log suffix.
     let mut sim = SimBuilder::new(3).seed(13).compact_every(Some(50)).build();
