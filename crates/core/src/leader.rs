@@ -1161,6 +1161,7 @@ impl Leader {
             return;
         }
         if self.pending_requests.len() >= self.config.request_queue_limit {
+            self.metrics.requests_rejected.inc();
             out.push(Action::ClientRequestRejected { data, reason: RejectReason::Overloaded });
             return;
         }

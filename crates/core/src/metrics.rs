@@ -42,6 +42,12 @@ pub struct CoreMetrics {
     pub snap_syncs: Arc<Counter>,
     /// Catch-up syncs served via log replay (DIFF or TRUNC).
     pub diff_syncs: Arc<Counter>,
+    /// Client requests the leader bounced with back-pressure
+    /// (`RejectReason::Overloaded`): the pending queue was at
+    /// [`crate::ClusterConfig::request_queue_limit`]. Shed, never queued —
+    /// a growing counter under steady load means the admission window
+    /// above is letting more in than the pipeline drains.
+    pub requests_rejected: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -58,6 +64,7 @@ impl CoreMetrics {
             sync_bytes_sent: Arc::new(Counter::default()),
             snap_syncs: Arc::new(Counter::default()),
             diff_syncs: Arc::new(Counter::default()),
+            requests_rejected: Arc::new(Counter::default()),
         }
     }
 
@@ -74,6 +81,7 @@ impl CoreMetrics {
             sync_bytes_sent: reg.counter("core.sync_bytes_sent"),
             snap_syncs: reg.counter("core.snap_syncs"),
             diff_syncs: reg.counter("core.diff_syncs"),
+            requests_rejected: reg.counter("core.requests_rejected"),
         }
     }
 }

@@ -41,6 +41,7 @@
 //! ```
 
 mod admin;
+mod admission;
 pub mod apps;
 pub mod config;
 pub mod metrics;
@@ -49,4 +50,4 @@ pub mod replica;
 pub use apps::{Application, BytesApp, KvApp};
 pub use config::NodeConfig;
 pub use metrics::NodeMetrics;
-pub use replica::{write_atomic, NodeEvent, Replica, Role};
+pub use replica::{write_atomic, NodeEvent, Replica, Role, SubmitError};

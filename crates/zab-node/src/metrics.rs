@@ -22,6 +22,14 @@ pub struct NodeMetrics {
     pub commit_latency_ms: Arc<Histogram>,
     /// Client submissions broadcast but not yet delivered (primary).
     pub commit_inflight: Arc<Gauge>,
+    /// Submissions shed at the admission gate (`try_submit` with a full
+    /// window, or `submit_deadline` expiring) — refused visibly, never
+    /// queued. The operator's overload signal: a nonzero rate means
+    /// offered load exceeds what the pipeline drains.
+    pub submits_shed: Arc<Counter>,
+    /// The admission gate's live capacity (the adaptive window's current
+    /// value; constant when `adaptive_window` is off).
+    pub submit_window: Arc<Gauge>,
     /// Storage faults that fail-stopped this replica.
     pub storage_faults: Arc<Counter>,
     /// Failed outgoing dials surfaced as `PeerUnreachable`.
@@ -38,6 +46,8 @@ impl NodeMetrics {
             election_duration_ms: reg.histogram("node.election_duration_ms"),
             commit_latency_ms: reg.histogram("node.commit_latency_ms"),
             commit_inflight: reg.gauge("node.commit_inflight"),
+            submits_shed: reg.counter("node.submits_shed"),
+            submit_window: reg.gauge("node.submit_window"),
             storage_faults: reg.counter("node.storage_faults"),
             peer_unreachable: reg.counter("node.peer_unreachable"),
             snapshot_install_failures: reg.counter("node.snapshot_install_failures"),
@@ -51,6 +61,8 @@ impl NodeMetrics {
             election_duration_ms: Arc::default(),
             commit_latency_ms: Arc::default(),
             commit_inflight: Arc::default(),
+            submits_shed: Arc::default(),
+            submit_window: Arc::default(),
             storage_faults: Arc::default(),
             peer_unreachable: Arc::default(),
             snapshot_install_failures: Arc::default(),

@@ -1,6 +1,7 @@
 //! The replica event loop.
 
 use crate::admin::{AdminServer, HealthState, SyncingPeer};
+use crate::admission::{AdaptiveWindow, Admission, SubmitGate};
 use crate::apps::Application;
 use crate::config::NodeConfig;
 use crate::metrics::NodeMetrics;
@@ -82,61 +83,38 @@ pub enum NodeEvent {
 }
 
 enum Command {
-    Submit(Vec<u8>),
+    Submit {
+        request: Vec<u8>,
+        /// When the caller arrived at the admission gate (recorder µs):
+        /// the [`zab_trace::Stage::Admit`] instant, recorded retroactively
+        /// at delivery once the zxid is known.
+        admit_us: u64,
+    },
     Shutdown,
 }
 
-/// Submit-side pipelining window: a counting gate that blocks
-/// [`Replica::submit`] once `cap` own requests are in flight, so an
-/// open-loop client saturates the pipeline instead of growing the
-/// command queue without bound. Slots are released as submissions
-/// deliver, get rejected, or are abandoned on demotion; `close()` (at
-/// shutdown) unblocks every waiter for good.
-struct SubmitGate {
-    cap: usize,
-    state: std::sync::Mutex<GateState>,
-    freed: std::sync::Condvar,
+/// A submission the admission gate refused. The request comes back to the
+/// caller untouched — shed, never queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission window is full ([`zab_core::RejectReason::Overloaded`]
+    /// at the gate): accepting the request would only have queued it
+    /// behind more work than the pipeline drains. Counted in
+    /// `node.submits_shed`.
+    Overloaded(Vec<u8>),
+    /// The replica has shut down; nothing will ever process the request.
+    Closed(Vec<u8>),
 }
 
-struct GateState {
-    in_flight: usize,
-    closed: bool,
-}
-
-impl SubmitGate {
-    fn new(cap: usize) -> SubmitGate {
-        SubmitGate {
-            cap: cap.max(1),
-            state: std::sync::Mutex::new(GateState { in_flight: 0, closed: false }),
-            freed: std::sync::Condvar::new(),
-        }
-    }
-
-    /// Blocks until a slot frees up (or the gate closes), then takes it.
-    fn acquire(&self) {
-        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        while s.in_flight >= self.cap && !s.closed {
-            s = self.freed.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        s.in_flight += 1;
-    }
-
-    fn release(&self, n: usize) {
-        if n == 0 {
-            return;
-        }
-        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        s.in_flight = s.in_flight.saturating_sub(n);
-        drop(s);
-        self.freed.notify_all();
-    }
-
-    fn close(&self) {
-        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        s.closed = true;
-        drop(s);
-        self.freed.notify_all();
-    }
+/// One accepted-but-undelivered client submission (primary only; FIFO
+/// because commit order is submission order). `submitted_ms` feeds the
+/// commit-latency histogram and the adaptive admission window;
+/// `admit_us`/`submit_us` are the flight-recorder instants replayed
+/// retroactively at delivery, when the zxid is finally known.
+struct PendingSubmit {
+    submitted_ms: u64,
+    submit_us: u64,
+    admit_us: u64,
 }
 
 /// Disk-thread completions. Errors are *reported*, never swallowed: the
@@ -170,6 +148,12 @@ pub struct Replica<A: Application> {
     recorder: Arc<Recorder>,
     admin: Option<AdminServer>,
     submit_gate: Arc<SubmitGate>,
+    /// Shared with the event loop's bundle: the submit path increments
+    /// `node.submits_shed` without a round trip through the loop.
+    node_metrics: NodeMetrics,
+    /// The replica-wide clock, shared with the recorder so gate-side
+    /// `Admit` instants land on the same timeline as loop-side stages.
+    clock: Arc<dyn Clock>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -232,7 +216,11 @@ impl<A: Application> Replica<A> {
         let (done_tx, done_rx) = unbounded::<DiskDone>();
         let role = Arc::new(Mutex::new(Role::Looking));
         let app = Arc::new(Mutex::new(app));
-        let submit_gate = Arc::new(SubmitGate::new(cfg.effective_submit_window()));
+        let node_metrics = NodeMetrics::registered(&metrics);
+        let (adm_min, adm_initial, adm_max) = cfg.effective_admission_bounds();
+        let admission = AdaptiveWindow::new(cfg.adaptive_window, adm_min, adm_initial, adm_max);
+        let submit_gate = Arc::new(SubmitGate::new(admission.cap()));
+        node_metrics.submit_window.set(admission.cap() as i64);
         let health = Arc::new(Mutex::new(HealthState::new(
             cfg.peers.keys().filter(|p| **p != id).map(|p| p.0),
         )));
@@ -326,16 +314,17 @@ impl<A: Application> Replica<A> {
             applied_bytes_since_compact: 0,
             registry: Arc::clone(&metrics),
             core_metrics: CoreMetrics::registered(&metrics),
-            node_metrics: NodeMetrics::registered(&metrics),
+            node_metrics: node_metrics.clone(),
             election_started_ms: None,
-            pending_commit_ms: VecDeque::new(),
-            pending_submit_us: VecDeque::new(),
+            pending_submits: VecDeque::new(),
+            admission,
             tracer,
             health,
             last_dump_ms: 0,
             dump_seq: 0,
             submit_gate: Arc::clone(&submit_gate),
         };
+        let clock_for_replica = Arc::clone(&loop_state.clock);
         let loop_thread = std::thread::spawn(move || loop_state.run());
 
         Ok(Replica {
@@ -348,6 +337,8 @@ impl<A: Application> Replica<A> {
             recorder,
             admin,
             submit_gate,
+            node_metrics,
+            clock: clock_for_replica,
             threads: vec![disk_thread, loop_thread],
         })
     }
@@ -361,16 +352,77 @@ impl<A: Application> Replica<A> {
     /// primary, the application executes it and the resulting delta is
     /// broadcast; otherwise a [`NodeEvent::Rejected`] is emitted.
     ///
-    /// Applies backpressure: blocks while [`NodeConfig::submit_window`]
+    /// Applies backpressure: blocks while the admission window's worth of
     /// own requests are already in flight (submitted but not yet
-    /// delivered or rejected), so an open-loop caller settles at the
-    /// pipeline's capacity instead of queueing without bound.
+    /// delivered or rejected), so a closed-loop caller settles at the
+    /// pipeline's capacity. Open-loop callers should prefer
+    /// [`Replica::try_submit`] or [`Replica::submit_deadline`], which
+    /// **shed** overload instead of queueing it — blocking admission
+    /// converts over-offered load into unbounded latency.
     pub fn submit(&self, request: Vec<u8>) {
-        self.submit_gate.acquire();
-        if self.commands.send(Command::Submit(request)).is_err() {
-            // Event loop gone (shutdown race): nothing will release the
-            // slot we just took.
+        let admit_us = self.clock.now_micros();
+        let _ = self.submit_gate.acquire(None);
+        self.send_admitted(request, admit_us);
+    }
+
+    /// Non-blocking submission: takes an admission slot if the window has
+    /// room, otherwise sheds the request and returns it untouched as
+    /// [`SubmitError::Overloaded`] (counted in `node.submits_shed`).
+    /// Never queues, never blocks — the honest open-loop primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the admission window is full;
+    /// [`SubmitError::Closed`] when the replica has shut down.
+    pub fn try_submit(&self, request: Vec<u8>) -> Result<(), SubmitError> {
+        let admit_us = self.clock.now_micros();
+        match self.submit_gate.try_acquire() {
+            Admission::Admitted => self.try_send_admitted(request, admit_us),
+            Admission::Shed => {
+                self.node_metrics.submits_shed.inc();
+                Err(SubmitError::Overloaded(request))
+            }
+        }
+    }
+
+    /// Deadline-bounded submission: waits up to `timeout` for an
+    /// admission slot, then sheds. The bounded middle ground between
+    /// [`Replica::submit`] (waits forever) and [`Replica::try_submit`]
+    /// (never waits).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] if no slot freed within `timeout`;
+    /// [`SubmitError::Closed`] when the replica has shut down.
+    pub fn submit_deadline(&self, request: Vec<u8>, timeout: Duration) -> Result<(), SubmitError> {
+        let admit_us = self.clock.now_micros();
+        match self.submit_gate.acquire(Some(std::time::Instant::now() + timeout)) {
+            Admission::Admitted => self.try_send_admitted(request, admit_us),
+            Admission::Shed => {
+                self.node_metrics.submits_shed.inc();
+                Err(SubmitError::Overloaded(request))
+            }
+        }
+    }
+
+    /// Hands an admitted request to the event loop; on a shutdown race
+    /// the slot is returned (nothing will ever release it otherwise).
+    fn send_admitted(&self, request: Vec<u8>, admit_us: u64) {
+        if self.commands.send(Command::Submit { request, admit_us }).is_err() {
             self.submit_gate.release(1);
+        }
+    }
+
+    fn try_send_admitted(&self, request: Vec<u8>, admit_us: u64) -> Result<(), SubmitError> {
+        match self.commands.send(Command::Submit { request, admit_us }) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.submit_gate.release(1);
+                match e.0 {
+                    Command::Submit { request, .. } => Err(SubmitError::Closed(request)),
+                    Command::Shutdown => Err(SubmitError::Closed(Vec::new())),
+                }
+            }
         }
     }
 
@@ -461,14 +513,14 @@ struct EventLoop<A: Application> {
     node_metrics: NodeMetrics,
     /// When the current election round started (None while decided).
     election_started_ms: Option<u64>,
-    /// Submit timestamps of broadcast-but-undelivered client requests
-    /// (primary only; FIFO because commit order is submission order).
-    pending_commit_ms: VecDeque<u64>,
-    /// The same submit instants in clock microseconds, kept in lockstep
-    /// with `pending_commit_ms`: a transaction's zxid is unknown at
-    /// submit time, so the `submit` trace event is recorded
-    /// retroactively at delivery, when the zxid is.
-    pending_submit_us: VecDeque<u64>,
+    /// Broadcast-but-undelivered client submissions (primary only; FIFO
+    /// because commit order is submission order). Each entry carries the
+    /// latency origin plus the admit/submit instants the flight recorder
+    /// replays retroactively at delivery, when the zxid is known.
+    pending_submits: VecDeque<PendingSubmit>,
+    /// Latency-target controller steering the submit gate's capacity
+    /// toward the pipeline's observed in-flight sweet spot.
+    admission: AdaptiveWindow,
     /// Flight-recorder handle shared with storage, transport, and each
     /// automaton incarnation.
     tracer: Tracer,
@@ -578,8 +630,8 @@ impl<A: Application> EventLoop<A> {
     /// Returns `false` on shutdown.
     fn on_command(&mut self, cmd: Command) -> bool {
         match cmd {
-            Command::Submit(request) => {
-                self.on_submit(request);
+            Command::Submit { request, admit_us } => {
+                self.on_submit(request, admit_us);
                 true
             }
             Command::Shutdown => false,
@@ -768,26 +820,44 @@ impl<A: Application> EventLoop<A> {
                     // order, so the oldest pending submit timestamp is
                     // this transaction's start-of-life.
                     if self.was_primary {
-                        if let Some(submitted_ms) = self.pending_commit_ms.pop_front() {
-                            self.node_metrics
-                                .commit_latency_ms
-                                .record(self.now_ms().saturating_sub(submitted_ms));
+                        if let Some(pending) = self.pending_submits.pop_front() {
+                            let now_ms = self.now_ms();
+                            let latency_ms = now_ms.saturating_sub(pending.submitted_ms);
+                            self.node_metrics.commit_latency_ms.record(latency_ms);
                             self.node_metrics
                                 .commit_inflight
-                                .set(self.pending_commit_ms.len() as i64);
+                                .set(self.pending_submits.len() as i64);
                             self.submit_gate.release(1);
-                        }
-                        // The zxid was unknown at submit time; now that it
-                        // is, record the submit instant retroactively at
-                        // its original timestamp (exporters sort by time,
-                        // so late recording does not reorder the chain).
-                        if let Some(submit_us) = self.pending_submit_us.pop_front() {
+                            // Feed the adaptive admission window: commit
+                            // latency plus the shed counter, which gates
+                            // growth — a shedding gate is already refusing
+                            // work, so extra depth buys queueing only.
+                            let sheds = self.node_metrics.submits_shed.get();
+                            if let Some(cap) = self.admission.observe(latency_ms, now_ms, sheds) {
+                                self.submit_gate.set_cap(cap);
+                                self.node_metrics.submit_window.set(cap as i64);
+                            }
+                            // The zxid was unknown at admission time; now
+                            // that it is, record the admit and submit
+                            // instants retroactively at their original
+                            // timestamps (exporters sort by time, so late
+                            // recording does not reorder the chain). The
+                            // admit→submit delta is the admission cost:
+                            // gate wait plus command-queue time.
+                            let z = txn.zxid.0;
+                            self.tracer.span(
+                                Stage::Admit,
+                                z,
+                                z,
+                                pending.admit_us,
+                                pending.admit_us,
+                            );
                             self.tracer.span(
                                 Stage::Submit,
-                                txn.zxid.0,
-                                txn.zxid.0,
-                                submit_us,
-                                submit_us,
+                                z,
+                                z,
+                                pending.submit_us,
+                                pending.submit_us,
                             );
                         }
                     }
@@ -843,9 +913,8 @@ impl<A: Application> EventLoop<A> {
                     // The request was accepted by on_submit (it holds a
                     // gate slot and the newest latency entry) but the core
                     // bounced it: undo both.
-                    if self.was_primary && self.pending_commit_ms.pop_back().is_some() {
-                        self.pending_submit_us.pop_back();
-                        self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
+                    if self.was_primary && self.pending_submits.pop_back().is_some() {
+                        self.node_metrics.commit_inflight.set(self.pending_submits.len() as i64);
                         self.submit_gate.release(1);
                     }
                     let _ = self
@@ -870,7 +939,7 @@ impl<A: Application> EventLoop<A> {
         self.feed_zab(Input::Compact { through, snapshot: Some(snapshot) });
     }
 
-    fn on_submit(&mut self, request: Vec<u8>) {
+    fn on_submit(&mut self, request: Vec<u8>, admit_us: u64) {
         let is_primary = matches!(&self.zab, Some(Zab::Leader(l)) if l.is_established());
         if !is_primary {
             let reason =
@@ -883,9 +952,12 @@ impl<A: Application> EventLoop<A> {
         let executed = self.app.lock().execute(&request);
         match executed {
             Ok(delta) => {
-                self.pending_commit_ms.push_back(self.now_ms());
-                self.pending_submit_us.push_back(self.clock.now_micros());
-                self.node_metrics.commit_inflight.set(self.pending_commit_ms.len() as i64);
+                self.pending_submits.push_back(PendingSubmit {
+                    submitted_ms: self.now_ms(),
+                    submit_us: self.clock.now_micros(),
+                    admit_us,
+                });
+                self.node_metrics.commit_inflight.set(self.pending_submits.len() as i64);
                 self.feed_zab(Input::ClientRequest { data: Bytes::from(delta) });
             }
             Err(reason) => {
@@ -938,9 +1010,8 @@ impl<A: Application> EventLoop<A> {
             // their gate slots would otherwise leak (no delivery or
             // rejection will ever account for them here).
             if !is_primary {
-                self.submit_gate.release(self.pending_commit_ms.len());
-                self.pending_commit_ms.clear();
-                self.pending_submit_us.clear();
+                self.submit_gate.release(self.pending_submits.len());
+                self.pending_submits.clear();
                 self.node_metrics.commit_inflight.set(0);
             }
             self.app.lock().on_role_change(is_primary);

@@ -1,8 +1,9 @@
 //! Per-transaction flight recorder (DESIGN.md §9).
 //!
 //! Zab's correctness argument is *causal*: every committed transaction has
-//! a precise lifecycle — submit → propose-enqueue → wire-out → wire-in →
-//! ack-rx → quorum → commit-out → watermark-advance → deliver — whose
+//! a precise lifecycle — admit → submit → propose-enqueue → wire-out →
+//! wire-in → ack-rx → quorum → commit-out → watermark-advance → deliver —
+//! whose
 //! interleaving across replicas is exactly what the paper's primary-order
 //! guarantee constrains. Aggregate metrics (`zab-metrics`) say *how often*
 //! and *how slow*; this crate records *where zxid ⟨e, c⟩ spent its time,
@@ -49,6 +50,11 @@ use zab_metrics::Clock;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Stage {
+    /// A client arrived at the admission gate (before any queueing). The
+    /// delta to [`Stage::Submit`] is exactly the admission cost: gate
+    /// wait plus command-queue time, the quantity the offered-load bench
+    /// attributes when it degrades under overload.
+    Admit,
     /// A client handed the payload to the replica (leader submit gate).
     Submit,
     /// The leader assigned a zxid and enqueued the proposal.
@@ -75,7 +81,8 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in lifecycle order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
+        Stage::Admit,
         Stage::Submit,
         Stage::ProposeEnqueue,
         Stage::WireOut,
@@ -92,6 +99,7 @@ impl Stage {
     /// Stable human-readable name (used in exports and endpoints).
     pub fn as_str(self) -> &'static str {
         match self {
+            Stage::Admit => "admit",
             Stage::Submit => "submit",
             Stage::ProposeEnqueue => "propose-enqueue",
             Stage::WireOut => "wire-out",
