@@ -89,6 +89,25 @@ impl QuorumSystem for WeightedQuorum {
     }
 }
 
+/// How the leader disseminates broadcast traffic (PROPOSE/COMMIT) to
+/// active followers. ACKs, pings, and sync streams are always
+/// star-shaped regardless of topology: acks must reach the leader
+/// directly for the quorum argument, and pings drive failure detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// The leader writes every broadcast frame to every active follower
+    /// (the paper's shape; O(N) leader socket writes per transaction).
+    #[default]
+    Star,
+    /// The leader partitions active followers into ⌈√m⌉-sized relay
+    /// groups, writes each frame once per relay, and relays forward the
+    /// same refcounted bytes to their group — O(√N) leader writes per
+    /// transaction. Falls back to star below 4 active followers (a tree
+    /// would only add a hop) and re-parents members of a failed relay
+    /// directly to the leader until the next reassignment.
+    Relay,
+}
+
 /// Static configuration shared by every server of an ensemble.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -125,6 +144,8 @@ pub struct ClusterConfig {
     /// `0` disables pacing entirely: the whole sync plan is emitted in
     /// one burst with no per-chunk acks (the pre-pacing behavior).
     pub sync_rate_bytes_per_sec: u64,
+    /// Dissemination topology for broadcast traffic (see [`Topology`]).
+    pub topology: Topology,
 }
 
 impl ClusterConfig {
@@ -148,6 +169,7 @@ impl ClusterConfig {
             snap_threshold: 10_000,
             request_queue_limit: 2_000,
             sync_rate_bytes_per_sec: 64 << 20,
+            topology: Topology::Star,
         }
     }
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use zab_core::{ClusterConfig, ServerId};
+use zab_core::{ClusterConfig, ServerId, Topology};
 use zab_election::ElectionConfig;
 
 /// Everything needed to boot one replica.
@@ -173,6 +173,14 @@ impl NodeConfig {
     /// Sets the per-thread flight-recorder ring capacity, in events.
     pub fn with_trace_capacity(mut self, events: usize) -> NodeConfig {
         self.trace_capacity = events.max(1);
+        self
+    }
+
+    /// Sets the broadcast dissemination topology (see
+    /// [`zab_core::Topology`]). Every node of an ensemble must agree —
+    /// the leader builds the plan, followers relay when assigned.
+    pub fn with_topology(mut self, topology: Topology) -> NodeConfig {
+        self.cluster.topology = topology;
         self
     }
 }

@@ -14,7 +14,9 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
-use zab_core::{Action, ClusterConfig, CoreMetrics, Input, Message, PersistToken, ServerId, Zab};
+use zab_core::{
+    Action, ClusterConfig, CoreMetrics, Input, Message, PersistToken, ServerId, Topology, Zab,
+};
 use zab_election::{Election, ElectionAction, ElectionConfig, ElectionInput, Notification, Vote};
 use zab_log::{FaultOp, FaultPlan, LogMetrics, MemStorage, Storage};
 use zab_metrics::{Clock, Gauge, ManualClock, Registry};
@@ -140,6 +142,7 @@ pub struct SimBuilder {
     compact_every: Option<u64>,
     sync_rate_bytes_per_sec: Option<u64>,
     trace_capacity: usize,
+    topology: Topology,
 }
 
 impl SimBuilder {
@@ -162,6 +165,7 @@ impl SimBuilder {
             compact_every: None,
             sync_rate_bytes_per_sec: None,
             trace_capacity: 4096,
+            topology: Topology::Star,
         }
     }
 
@@ -224,6 +228,12 @@ impl SimBuilder {
         self
     }
 
+    /// Broadcast dissemination topology (default [`Topology::Star`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Failure-detection timeouts, in milliseconds.
     pub fn timeouts_ms(mut self, follower: u64, leader: u64, ping: u64) -> Self {
         self.follower_timeout_ms = follower;
@@ -245,6 +255,7 @@ impl SimBuilder {
         if let Some(rate) = self.sync_rate_bytes_per_sec {
             cluster.sync_rate_bytes_per_sec = rate;
         }
+        cluster.topology = self.topology;
         let election_cfg = ElectionConfig::new(ids.clone());
         let trace_clock = Arc::new(ManualClock::new());
         let mut sim = Sim {
@@ -259,6 +270,7 @@ impl SimBuilder {
             link_epochs: BTreeMap::new(),
             link_last_arrival: BTreeMap::new(),
             egress_free: ids.iter().map(|&id| (id, 0)).collect(),
+            egress_bytes: ids.iter().map(|&id| (id, 0)).collect(),
             rng: ChaCha8Rng::seed_from_u64(self.seed),
             stats: SimStats::default(),
             broadcast_hashes: BTreeSet::new(),
@@ -321,6 +333,9 @@ pub struct Sim {
     link_last_arrival: BTreeMap<(ServerId, ServerId), u64>,
     /// Per node: when its NIC egress becomes free.
     egress_free: BTreeMap<ServerId, u64>,
+    /// Per node: total protocol bytes pushed onto its NIC (the quantity
+    /// the relay tree is supposed to flatten at the leader).
+    egress_bytes: BTreeMap<ServerId, u64>,
     rng: ChaCha8Rng,
     stats: SimStats,
     /// Payload hashes of everything clients submitted (for the checker).
@@ -382,6 +397,22 @@ impl Sim {
     /// the node's current incarnation only.
     pub fn node_metrics(&self, id: ServerId) -> zab_metrics::Snapshot {
         self.nodes[&id].metrics.snapshot()
+    }
+
+    /// Total protocol bytes this node has pushed onto its NIC since the
+    /// simulation started (crashes do not reset it).
+    pub fn egress_bytes(&self, id: ServerId) -> u64 {
+        self.egress_bytes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The node's view of the dissemination tree: `(relay, members)`
+    /// pairs — the full plan on the leader, the node's own group on a
+    /// relay follower, empty on a leaf / star / down node.
+    pub fn relay_topology(&self, id: ServerId) -> Vec<(ServerId, Vec<ServerId>)> {
+        match &self.nodes[&id].zab {
+            Some(zab) => zab.relay_topology(),
+            None => Vec::new(),
+        }
     }
 
     /// A snapshot of a node's flight recorder. Unlike the metrics
@@ -749,6 +780,10 @@ impl Sim {
                 Message::SyncSnap { snapshot, txns, .. } => {
                     13 + snapshot.len() + txns.iter().map(|t| 12 + t.data.len()).sum::<usize>()
                 }
+                // tag + len prefix + verbatim inner frame.
+                Message::Forward { inner } => 5 + inner.len(),
+                // tag + count prefix + member ids.
+                Message::RelayAssign { members } => 5 + 8 * members.len(),
             },
         };
         FRAME + body
@@ -775,6 +810,7 @@ impl Sim {
             self.nodes[&from].recorder.record(Stage::WireOut, zxid, to.0);
         }
         let size = Self::wire_size(&wire);
+        *self.egress_bytes.entry(from).or_insert(0) += size as u64;
         let start = self.now_us.max(self.egress_free[&from]);
         let ser_us = match self.cfg.egress_bytes_per_us {
             Some(bw) => (size as f64 / bw).ceil() as u64,
