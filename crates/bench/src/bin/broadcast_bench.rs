@@ -66,6 +66,17 @@ impl Cluster {
     /// Boots an n-server localhost ensemble and waits for an established
     /// leader.
     fn start(n: u64, max_outstanding: usize, topology: Topology) -> Cluster {
+        Cluster::start_with(n, max_outstanding, topology, |cfg| cfg)
+    }
+
+    /// [`Cluster::start`] with a per-node config hook (the observability
+    /// on/off cells toggle tracing and the admin endpoint through it).
+    fn start_with(
+        n: u64,
+        max_outstanding: usize,
+        topology: Topology,
+        customize: impl Fn(NodeConfig) -> NodeConfig,
+    ) -> Cluster {
         let book: BTreeMap<ServerId, SocketAddr> = (1..=n)
             .map(|i| {
                 let l = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -79,6 +90,7 @@ impl Cluster {
             .map(|&id| {
                 let mut cfg = NodeConfig::new(id, book.clone()).with_topology(topology);
                 cfg.cluster.max_outstanding = max_outstanding;
+                let cfg = customize(cfg);
                 (id, Replica::start(cfg, BytesApp::new()).expect("start"))
             })
             .collect();
@@ -98,6 +110,19 @@ impl Cluster {
 
     fn leader(&self) -> &Replica<BytesApp> {
         &self.replicas[&self.leader]
+    }
+
+    /// Flips the flight recorder on every replica at runtime. F5 uses
+    /// this to compare observed and dark slices on the *same booted
+    /// ensemble*: two fresh boots of identical config differ by a
+    /// persistent few percent on this host (allocator layout and thread
+    /// placement are decided at boot and never re-rolled), which is the
+    /// size of the effect under measurement, so a two-cluster
+    /// comparison measures the boot, not the plane.
+    fn set_recording(&self, on: bool) {
+        for r in self.replicas.values() {
+            r.trace_recorder().set_enabled(on);
+        }
     }
 
     /// Discards leader events until the stream stays silent, so a
@@ -672,6 +697,127 @@ fn main() {
         }
     }
 
+    // Figure 5: what the observability plane itself costs. One live
+    // ensemble, booted in the observed configuration (flight recorder
+    // on, admin endpoint bound), measured in alternating saturation
+    // sub-windows: "observed" slices record every stage event and serve
+    // /health scrapes at zabctl-watch cadence (an *operated* node, not
+    // an idle endpoint); "dark" slices flip every replica's recorder
+    // off (`Recorder::set_enabled`) and pause the scraper. Two
+    // estimator lessons are baked in. First, on this shared 1-CPU box
+    // external load comes in multi-second phases that swing throughput
+    // by 10-30% — far more than the effect under measurement — so
+    // slices alternate (order flipping every round) and each adjacent
+    // pair sees the same phase; the per-round ratio isolates the plane.
+    // Second — the reason this is ONE cluster and not an observed/dark
+    // pair — two freshly booted ensembles of *identical* config differ
+    // by a persistent few percent on this host: a null A/A test read
+    // 0.2% on one boot pair and 4.6% on the next, and swapping which
+    // cluster carried tracing flipped the sign of the "overhead".
+    // Allocator layout and thread placement are rolled once at boot, so
+    // inter-cluster deltas measure the boot, not the plane; toggling
+    // recording inside one boot cancels that bias exactly. The residual
+    // blind spot is the admin thread's idle accept-poll (a 20 ms sleep
+    // loop), which rides in both slices; it is a few microsecond-scale
+    // wakes per scrape interval, far below this bench's resolution.
+    // The reported figure is the median over all per-round ratios; the
+    // acceptance bar is overhead within 5% of saturated throughput.
+    println!("\nF5: observability overhead (3 servers, tracing+admin+scrape vs dark slices)\n");
+    print_header(&["mode", "trial", "median ops/s", "p50 (ms)", "p99 (ms)"]);
+    let mut fig5 = Vec::new();
+    let mut round_pct: Vec<f64> = Vec::new();
+    let rounds: usize = if quick { 8 } else { 12 };
+    let sub_ops: u64 = 6_000; // ~130 ms per sub-window at saturation
+    let trials = 3; // 2 modes x 3 trials: CI asserts >= 6 F5 rows, quick included
+    for trial in 0..trials {
+        let mut cluster = Cluster::start_with(3, 1000, Topology::Star, |cfg| {
+            cfg.with_tracing(true).with_admin("127.0.0.1:0".parse().expect("addr"))
+        });
+        run_closed_loop(&cluster, SAT_WINDOW.min(64), 2_000);
+        cluster.drain_to_quiescence();
+        cluster.refresh_leader();
+        // Scrape the leader's /health at watch cadence, but only while
+        // an observed slice is running — a scrape landing in a dark
+        // slice would slow *dark* down and flatter the estimate.
+        let scrape_on = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let scraper = {
+            let addr = cluster.leader().admin_addr().expect("admin bound");
+            let (scrape_on, stop) =
+                (std::sync::Arc::clone(&scrape_on), std::sync::Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if scrape_on.load(std::sync::atomic::Ordering::Relaxed) {
+                        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                            use std::io::{Read, Write};
+                            let _ = s.write_all(b"GET /health HTTP/1.0\r\nHost: b\r\n\r\n");
+                            let mut buf = String::new();
+                            let _ = s.read_to_string(&mut buf);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })
+        };
+        let mut mode_runs: [Vec<Measured>; 2] = [Vec::new(), Vec::new()]; // [observed, dark]
+        for round in 0..rounds {
+            let order: [usize; 2] = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+            let mut pair = [0.0f64; 2];
+            for slot in order {
+                // Flush stragglers from the previous slice so reused op
+                // ids cannot be miscounted, then flip the plane.
+                cluster.drain_to_quiescence();
+                cluster.set_recording(slot == 0);
+                scrape_on.store(slot == 0, std::sync::atomic::Ordering::Relaxed);
+                let m = run_closed_loop(&cluster, SAT_WINDOW, sub_ops);
+                scrape_on.store(false, std::sync::atomic::Ordering::Relaxed);
+                pair[slot] = m.ops_per_sec();
+                mode_runs[slot].push(m);
+            }
+            round_pct.push((pair[1] - pair[0]) / pair[1].max(1.0) * 100.0);
+        }
+        cluster.set_recording(true);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = scraper.join();
+        for (slot, mode) in [(0usize, "observed"), (1usize, "dark")] {
+            let runs = &mode_runs[slot];
+            let mut tputs: Vec<f64> = runs.iter().map(|m| m.ops_per_sec()).collect();
+            tputs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let med = tputs[tputs.len() / 2];
+            let mid = runs
+                .iter()
+                .min_by(|a, b| {
+                    (a.ops_per_sec() - med)
+                        .abs()
+                        .partial_cmp(&(b.ops_per_sec() - med).abs())
+                        .expect("finite")
+                })
+                .expect("at least one round");
+            let (p50, p99) = (mid.percentile_ms(0.50), mid.percentile_ms(0.99));
+            println!("| {mode} | {trial} | {} | {} | {} |", fmt_f(med), fmt_f(p50), fmt_f(p99));
+            fig5.push(Row {
+                fields: vec![
+                    ("n", "3".to_string()),
+                    ("mode", format!("\"{mode}\"")),
+                    ("trial", trial.to_string()),
+                    ("tracing", (slot == 0).to_string()),
+                    ("admin", (slot == 0).to_string()),
+                    ("ops_per_sec", num(med)),
+                    ("p50_ms", num(p50)),
+                    ("p99_ms", num(p99)),
+                ],
+            });
+        }
+    }
+    round_pct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let obs_overhead_pct = round_pct[round_pct.len() / 2];
+    println!(
+        "observability overhead (median of {} interleaved rounds): {}% of dark \
+         throughput (bar: <= 5%)",
+        round_pct.len(),
+        fmt_f(obs_overhead_pct)
+    );
+
     // Schema-additive: the histogram-side commit quantiles, the F1
     // topology/egress columns, and the simnet scaling rows all ride
     // along under new keys; every v1 consumer keeps parsing.
@@ -682,11 +828,15 @@ fn main() {
          \"commit_latency_quantiles_ms\": {{\"p50\": {q50}, \"p95\": {q95}, \"p99\": {q99}}},\n  \
          \"throughput_vs_ensemble\": {},\n  \
          \"latency_vs_load\": {},\n  \"throughput_vs_outstanding\": {},\n  \
-         \"scaling_simnet\": {}\n}}\n",
+         \"scaling_simnet\": {},\n  \
+         \"observability_overhead\": {},\n  \
+         \"observability_overhead_pct\": {}\n}}\n",
         rows_to_json(&fig1),
         rows_to_json(&fig2),
         rows_to_json(&fig3),
         rows_to_json(&fig4),
+        rows_to_json(&fig5),
+        num(obs_overhead_pct),
     );
     let path = out_path();
     std::fs::write(&path, json).expect("write BENCH_broadcast.json");

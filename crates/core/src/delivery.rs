@@ -9,7 +9,133 @@ use crate::events::Action;
 use crate::history::History;
 use crate::metrics::CoreMetrics;
 use crate::types::Zxid;
+use std::collections::VecDeque;
 use zab_trace::{Stage, Tracer};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Delivered-prefix checkpoints are taken every this many transactions
+/// (whenever `zxid.counter() % CHECKPOINT_STRIDE == 0`). A fixed zxid
+/// stride — rather than "every Nth local delivery" — means every replica
+/// checkpoints at the *same* zxids, so an ensemble auditor can compare
+/// hashes at common points even when replicas are scraped at different
+/// moments of the commit stream.
+pub const CHECKPOINT_STRIDE: u32 = 64;
+
+/// Checkpoints retained (ring). At stride 64 this covers the last ~8k
+/// delivered transactions, bounding both memory and `/health` size.
+const CHECKPOINT_CAP: usize = 128;
+
+/// One `(zxid, hash)` point of the rolling delivery hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashCheckpoint {
+    /// The delivery watermark the hash covers (inclusive).
+    pub zxid: Zxid,
+    /// Chain hash over every delivery from the anchor through `zxid`.
+    pub hash: u64,
+}
+
+/// Rolling hash over the delivered transaction stream — the
+/// delivered-prefix-agreement witness the ensemble watchdog compares
+/// across replicas.
+///
+/// Each delivery folds `(zxid, payload)` into an FNV-1a chain: O(payload)
+/// per deliver, never O(history). Because replicas may boot (and install
+/// snapshots) at different points, a chain hash from process start would
+/// never agree across nodes; instead the chain **re-anchors at every epoch
+/// boundary** (and at the first delivery after boot), and the anchor zxid
+/// is part of the witness. Two replicas are comparable exactly when their
+/// anchors match — true for every replica that lived through the same
+/// establishment, which is the steady state the watchdog patrols. On
+/// agreement: if both anchors and both watermarks match, PO says the
+/// replicas delivered identical streams, so the hashes must match —
+/// anything else is a real divergence (or a corrupted apply path).
+#[derive(Debug, Clone)]
+pub struct DeliveryHash {
+    anchor: Zxid,
+    last: Zxid,
+    hash: u64,
+    checkpoints: VecDeque<HashCheckpoint>,
+    version: u64,
+}
+
+impl Default for DeliveryHash {
+    fn default() -> DeliveryHash {
+        DeliveryHash {
+            anchor: Zxid::ZERO,
+            last: Zxid::ZERO,
+            hash: FNV_OFFSET,
+            checkpoints: VecDeque::new(),
+            version: 0,
+        }
+    }
+}
+
+impl DeliveryHash {
+    /// Fresh tracker; the chain anchors on the first observed delivery.
+    pub fn new() -> DeliveryHash {
+        DeliveryHash::default()
+    }
+
+    /// Folds one delivered transaction into the chain. Call in the apply
+    /// path, in delivery order.
+    pub fn observe(&mut self, zxid: Zxid, data: &[u8]) {
+        if self.last == Zxid::ZERO || zxid.epoch() != self.last.epoch() {
+            // New chain: first delivery of this incarnation or of a new
+            // epoch. Old-epoch checkpoints belong to the old anchor and
+            // would never be compared again — drop them.
+            self.hash = FNV_OFFSET;
+            self.anchor = zxid;
+            self.checkpoints.clear();
+        }
+        let mut h = self.hash;
+        for b in zxid.0.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        for b in (data.len() as u64).to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        for &b in data {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.hash = h;
+        self.last = zxid;
+        self.version += 1;
+        if zxid.counter().is_multiple_of(CHECKPOINT_STRIDE) {
+            if self.checkpoints.len() == CHECKPOINT_CAP {
+                self.checkpoints.pop_front();
+            }
+            self.checkpoints.push_back(HashCheckpoint { zxid, hash: h });
+        }
+    }
+
+    /// First zxid of the current chain (`Zxid::ZERO` before any delivery).
+    pub fn anchor(&self) -> Zxid {
+        self.anchor
+    }
+
+    /// Last delivered zxid folded into the chain.
+    pub fn last(&self) -> Zxid {
+        self.last
+    }
+
+    /// Chain hash covering `anchor()..=last()`.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Retained stride checkpoints, oldest first.
+    pub fn checkpoints(&self) -> impl Iterator<Item = HashCheckpoint> + '_ {
+        self.checkpoints.iter().copied()
+    }
+
+    /// Monotone change counter — lets a publisher skip re-copying the
+    /// checkpoint ring when nothing was delivered since the last look.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
 
 /// Emits `Deliver` actions for every committed-but-undelivered transaction,
 /// advancing `delivered_to`.
@@ -134,5 +260,84 @@ mod tests {
             &mut out,
         );
         assert_eq!(delivered(&out), vec![Zxid::new(Epoch(1), 3), Zxid::new(Epoch(1), 4)]);
+    }
+
+    fn z(e: u32, c: u32) -> Zxid {
+        Zxid::new(Epoch(e), c)
+    }
+
+    #[test]
+    fn delivery_hash_agrees_for_identical_streams() {
+        let mut a = DeliveryHash::new();
+        let mut b = DeliveryHash::new();
+        for c in 1..=200u32 {
+            a.observe(z(1, c), &c.to_le_bytes());
+            b.observe(z(1, c), &c.to_le_bytes());
+        }
+        assert_eq!(a.anchor(), b.anchor());
+        assert_eq!(a.last(), b.last());
+        assert_eq!(a.hash(), b.hash());
+        // Stride checkpoints land at the same zxids with the same hashes.
+        let ca: Vec<_> = a.checkpoints().collect();
+        let cb: Vec<_> = b.checkpoints().collect();
+        assert_eq!(ca, cb);
+        assert_eq!(
+            ca.iter().map(|c| c.zxid).collect::<Vec<_>>(),
+            vec![z(1, 64), z(1, 128), z(1, 192)]
+        );
+    }
+
+    #[test]
+    fn delivery_hash_detects_payload_divergence() {
+        let mut a = DeliveryHash::new();
+        let mut b = DeliveryHash::new();
+        for c in 1..=64u32 {
+            a.observe(z(1, c), &c.to_le_bytes());
+            let payload = if c == 40 { [0xFFu8; 4] } else { c.to_le_bytes() };
+            b.observe(z(1, c), &payload);
+        }
+        // Same watermark and anchor, different content → different hash.
+        assert_eq!(a.last(), b.last());
+        assert_eq!(a.anchor(), b.anchor());
+        assert_ne!(a.hash(), b.hash());
+        let (ca, cb) = (a.checkpoints().next().unwrap(), b.checkpoints().next().unwrap());
+        assert_eq!(ca.zxid, cb.zxid);
+        assert_ne!(ca.hash, cb.hash);
+    }
+
+    #[test]
+    fn delivery_hash_reanchors_on_epoch_change_and_late_boot() {
+        let mut veteran = DeliveryHash::new();
+        for c in 1..=100u32 {
+            veteran.observe(z(1, c), b"x");
+        }
+        // Epoch roll: chain resets, old checkpoints dropped.
+        veteran.observe(z(2, 1), b"y");
+        assert_eq!(veteran.anchor(), z(2, 1));
+        assert_eq!(veteran.checkpoints().count(), 0);
+
+        // A replica that boots mid-epoch anchors where it starts — its
+        // anchor differs from the veteran's, flagging the chains as
+        // incomparable rather than falsely divergent.
+        let mut late = DeliveryHash::new();
+        late.observe(z(2, 1), b"y");
+        assert_eq!(late.anchor(), veteran.anchor());
+        assert_eq!(late.hash(), veteran.hash());
+        let mut later = DeliveryHash::new();
+        later.observe(z(2, 5), b"z");
+        assert_ne!(later.anchor(), veteran.anchor());
+    }
+
+    #[test]
+    fn delivery_hash_checkpoint_ring_is_bounded() {
+        let mut d = DeliveryHash::new();
+        for c in 1..=20_000u32 {
+            d.observe(z(1, c), b"p");
+        }
+        let cps: Vec<_> = d.checkpoints().collect();
+        assert_eq!(cps.len(), 128);
+        assert_eq!(cps.last().unwrap().zxid, z(1, 19_968)); // newest stride point
+        assert!(cps.windows(2).all(|w| w[0].zxid < w[1].zxid));
+        assert!(d.version() >= 20_000);
     }
 }

@@ -97,6 +97,39 @@ pub struct SyncProgress {
     pub bytes_remaining: u64,
 }
 
+/// Leader-side replication lag for one follower: the distance between the
+/// leader's committed frontier and what the follower has durably acked
+/// (active peers) or been shipped (syncing peers). See
+/// [`Leader::follower_lags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowerLag {
+    /// The follower.
+    pub peer: ServerId,
+    /// Its cumulative ack watermark (active peers only — a syncing peer
+    /// has no broadcast-phase watermark yet).
+    pub acked: Option<Zxid>,
+    /// Committed transactions the follower has not acked, when computable
+    /// in O(1): a same-epoch counter difference for active peers; queued
+    /// sync-stream transactions plus the same-epoch live gap past the plan
+    /// end for syncing peers. `None` when the watermarks span epochs (the
+    /// gap is real but counting it would walk the history).
+    pub lag_txns: Option<u64>,
+    /// True while a catch-up sync stream is open to this peer.
+    pub syncing: bool,
+}
+
+/// Committed-transaction count between two watermarks when it is an O(1)
+/// same-epoch counter difference; `None` across epochs.
+fn counter_gap(from: Zxid, to: Zxid) -> Option<u64> {
+    if to <= from {
+        Some(0)
+    } else if from.epoch() == to.epoch() {
+        Some((to.counter() - from.counter()) as u64)
+    } else {
+        None
+    }
+}
+
 /// Cursor over the unshipped tail of a paced sync stream.
 ///
 /// The plan's opening message (`SyncDiff`/`SyncTrunc`/`SyncSnap` with the
@@ -1116,6 +1149,39 @@ impl Leader {
             .collect()
     }
 
+    /// Per-follower replication lag against this leader's committed
+    /// frontier — the `/health` lag table and `core.follower_lag.<id>`
+    /// gauges read this at batch boundaries. One entry per connected peer
+    /// that is past epoch negotiation (active or catch-up syncing); O(#peers
+    /// + #unshipped chunks), never O(history).
+    pub fn follower_lags(&self) -> Vec<FollowerLag> {
+        let committed = self.history.last_committed();
+        self.peers
+            .iter()
+            .filter_map(|(&id, p)| match &p.state {
+                PeerState::Active { acked, .. } => Some(FollowerLag {
+                    peer: id,
+                    acked: Some(*acked),
+                    lag_txns: counter_gap(*acked, committed),
+                    syncing: false,
+                }),
+                PeerState::Syncing { session, plan_end, .. } => {
+                    let queued: u64 = session.remaining.iter().map(|c| c.len() as u64).sum();
+                    Some(FollowerLag {
+                        peer: id,
+                        acked: None,
+                        lag_txns: counter_gap(*plan_end, committed).map(|live| live + queued),
+                        syncing: true,
+                    })
+                }
+                PeerState::AwaitingSnapshot => {
+                    Some(FollowerLag { peer: id, acked: None, lag_txns: None, syncing: true })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     fn on_snapshot_ready(&mut self, snapshot: Bytes, zxid: Zxid, out: &mut Vec<Action>) {
         self.snapshot_pending = false;
         // A fresh application snapshot supersedes whatever compaction
@@ -1704,6 +1770,50 @@ mod tests {
         assert!(matches!(sends_to(&a3, F2)[0], Message::Commit { zxid: z } if *z == zxid));
         assert_eq!(l.outstanding(), 0);
         assert_eq!(l.last_committed(), zxid);
+    }
+
+    #[test]
+    fn follower_lags_track_acked_vs_committed() {
+        let mut l = established_leader();
+        // Freshly established: both followers active at zero lag.
+        let lags = l.follower_lags();
+        assert_eq!(lags.len(), 2);
+        assert!(lags.iter().all(|f| f.lag_txns == Some(0) && !f.syncing));
+
+        // Three proposals; f2 acks all three, f3 only the first.
+        let mut persists = Vec::new();
+        for _ in 0..3 {
+            persists.extend(l.handle(Input::ClientRequest { data: Bytes::from_static(b"x") }));
+        }
+        let _ = complete_persists(&mut l, &persists);
+        for c in 1..=3u32 {
+            let _ = l.handle(msg(F2, Message::Ack { zxid: Zxid::new(Epoch(1), c) }));
+        }
+        let _ = l.handle(msg(F3, Message::Ack { zxid: Zxid::new(Epoch(1), 1) }));
+        assert_eq!(l.last_committed(), Zxid::new(Epoch(1), 3));
+
+        let lags = l.follower_lags();
+        let f2 = lags.iter().find(|f| f.peer == F2).unwrap();
+        let f3 = lags.iter().find(|f| f.peer == F3).unwrap();
+        assert_eq!(f2.acked, Some(Zxid::new(Epoch(1), 3)));
+        assert_eq!(f2.lag_txns, Some(0));
+        assert_eq!(f3.acked, Some(Zxid::new(Epoch(1), 1)));
+        assert_eq!(f3.lag_txns, Some(2));
+
+        // f3 catches up → lag drains to zero.
+        for c in 2..=3u32 {
+            let _ = l.handle(msg(F3, Message::Ack { zxid: Zxid::new(Epoch(1), c) }));
+        }
+        let f3 = l.follower_lags().into_iter().find(|f| f.peer == F3).unwrap();
+        assert_eq!(f3.lag_txns, Some(0));
+    }
+
+    #[test]
+    fn counter_gap_is_same_epoch_only() {
+        assert_eq!(counter_gap(Zxid::new(Epoch(2), 5), Zxid::new(Epoch(2), 9)), Some(4));
+        assert_eq!(counter_gap(Zxid::new(Epoch(2), 9), Zxid::new(Epoch(2), 5)), Some(0));
+        assert_eq!(counter_gap(Zxid::new(Epoch(1), 5), Zxid::new(Epoch(2), 5)), None);
+        assert_eq!(counter_gap(Zxid::ZERO, Zxid::ZERO), Some(0));
     }
 
     #[test]

@@ -64,10 +64,11 @@ pub mod metrics;
 pub mod types;
 
 pub use config::{ClusterConfig, MajorityQuorum, QuorumSystem, Topology, WeightedQuorum};
+pub use delivery::{DeliveryHash, HashCheckpoint};
 pub use events::{Action, Input, PersistRequest, PersistToken, PersistentState, RejectReason};
 pub use follower::{Follower, FollowerStatus};
 pub use history::{History, SyncPlan};
-pub use leader::{Leader, LeaderStatus, SyncProgress};
+pub use leader::{FollowerLag, Leader, LeaderStatus, SyncProgress};
 pub use messages::Message;
 pub use metrics::CoreMetrics;
 pub use types::{Epoch, ServerId, Txn, Zxid};
@@ -183,6 +184,16 @@ impl Zab {
     pub fn syncing_peers(&self) -> Vec<SyncProgress> {
         match self {
             Zab::Leader(l) => l.syncing_peers(),
+            Zab::Follower(_) => Vec::new(),
+        }
+    }
+
+    /// Per-follower replication lag against the committed frontier
+    /// (leaders only; followers always report none). See
+    /// [`Leader::follower_lags`].
+    pub fn follower_lags(&self) -> Vec<FollowerLag> {
+        match self {
+            Zab::Leader(l) => l.follower_lags(),
             Zab::Follower(_) => Vec::new(),
         }
     }

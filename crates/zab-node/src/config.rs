@@ -69,6 +69,11 @@ pub struct NodeConfig {
     /// events, overwriting the oldest, so recorder memory stays bounded
     /// at `threads × trace_capacity × size_of::<TraceEvent>()`.
     pub trace_capacity: usize,
+    /// Record flight-recorder events (default true). With tracing off the
+    /// recorder still exists (so `/trace` serves an empty, valid
+    /// document) but no layer records into it — the configuration the
+    /// observability-overhead bench row compares against.
+    pub tracing: bool,
 }
 
 impl NodeConfig {
@@ -98,6 +103,7 @@ impl NodeConfig {
             admission_initial_window: None,
             admin_addr: None,
             trace_capacity: 4096,
+            tracing: true,
         }
     }
 
@@ -173,6 +179,13 @@ impl NodeConfig {
     /// Sets the per-thread flight-recorder ring capacity, in events.
     pub fn with_trace_capacity(mut self, events: usize) -> NodeConfig {
         self.trace_capacity = events.max(1);
+        self
+    }
+
+    /// Enables or disables flight-recorder event recording (see
+    /// [`NodeConfig::tracing`]).
+    pub fn with_tracing(mut self, enabled: bool) -> NodeConfig {
+        self.tracing = enabled;
         self
     }
 

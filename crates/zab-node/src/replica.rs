@@ -1,6 +1,6 @@
 //! The replica event loop.
 
-use crate::admin::{AdminServer, HealthState, SyncingPeer};
+use crate::admin::{AdminServer, DeliveryState, HealthState, LagEntry, SyncingPeer};
 use crate::admission::{AdaptiveWindow, Admission, SubmitGate};
 use crate::apps::Application;
 use crate::config::NodeConfig;
@@ -8,15 +8,15 @@ use crate::metrics::NodeMetrics;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use zab_core::{
-    Action, CoreMetrics, Epoch, Input, Message, PersistRequest, PersistToken, ServerId, Topology,
-    Txn, Zab, Zxid,
+    Action, CoreMetrics, DeliveryHash, Epoch, Input, Message, PersistRequest, PersistToken,
+    ServerId, Topology, Txn, Zab, Zxid,
 };
 use zab_election::{Election, ElectionAction, ElectionInput, Vote};
 use zab_log::{FileStorage, LogMetrics, MemStorage, Storage};
@@ -196,7 +196,10 @@ impl<A: Application> Replica<A> {
         // so trace events and metric samples line up on one timeline.
         let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
         let recorder = Recorder::new(id.0, cfg.trace_capacity, Arc::clone(&clock));
-        let tracer = Tracer::new(Arc::clone(&recorder));
+        // Tracing off: the recorder stays (an empty `/trace` still serves)
+        // but every layer gets a disabled handle — zero record-path cost.
+        let tracer =
+            if cfg.tracing { Tracer::new(Arc::clone(&recorder)) } else { Tracer::disabled() };
         storage.set_metrics(
             LogMetrics::registered(&metrics)
                 .with_clock(Arc::clone(&clock))
@@ -329,6 +332,9 @@ impl<A: Application> Replica<A> {
             last_dump_ms: 0,
             dump_seq: 0,
             submit_gate: Arc::clone(&submit_gate),
+            delivery_hash: DeliveryHash::new(),
+            published_hash_version: 0,
+            lag_gauges: BTreeMap::new(),
         };
         let clock_for_replica = Arc::clone(&loop_state.clock);
         let loop_thread = std::thread::spawn(move || loop_state.run());
@@ -543,6 +549,18 @@ struct EventLoop<A: Application> {
     /// Shared with [`Replica::submit`]: every acquired slot is released
     /// exactly once — on delivery, rejection, or demotion.
     submit_gate: Arc<SubmitGate>,
+    /// Rolling hash of the delivered transaction stream, the
+    /// delivered-prefix-agreement witness `/health` exposes and `zabctl
+    /// audit` compares across the ensemble. Lives here (not in the
+    /// automaton) so it survives election churn within an epoch chain.
+    delivery_hash: DeliveryHash,
+    /// `delivery_hash.version()` at the last health publish — skips the
+    /// checkpoint-ring copy on batch boundaries where nothing delivered.
+    published_hash_version: u64,
+    /// Per-follower lag gauges (`core.follower_lag.<id>` /
+    /// `core.follower_acked.<id>`), cached so publishing skips the
+    /// registry's name lookup on every batch boundary.
+    lag_gauges: BTreeMap<u64, (Arc<zab_metrics::Gauge>, Arc<zab_metrics::Gauge>)>,
 }
 
 impl<A: Application> EventLoop<A> {
@@ -834,6 +852,10 @@ impl<A: Application> EventLoop<A> {
                 }
                 Action::Deliver { txn } => {
                     self.app.lock().apply(&txn);
+                    // O(payload) fold into the delivered-prefix hash, in
+                    // the apply path so the chain witnesses exactly what
+                    // the application saw, in the order it saw it.
+                    self.delivery_hash.observe(txn.zxid, &txn.data);
                     // On the primary the delivery order is the submission
                     // order, so the oldest pending submit timestamp is
                     // this transaction's start-of-life.
@@ -1005,26 +1027,62 @@ impl<A: Application> EventLoop<A> {
 
     fn publish_role(&mut self) {
         if let Some(zab) = &self.zab {
-            let mut h = self.health.lock();
-            h.last_committed = zab.last_committed().0;
-            h.syncing = zab
-                .syncing_peers()
-                .into_iter()
-                .map(|p| SyncingPeer {
-                    peer: p.peer.0,
-                    chunks_remaining: p.chunks_remaining,
-                    bytes_remaining: p.bytes_remaining,
-                })
-                .collect();
-            h.relay_groups = zab
-                .relay_topology()
-                .into_iter()
-                .map(|(r, members)| (r.0, members.into_iter().map(|m| m.0).collect()))
-                .collect();
+            let lags = zab.follower_lags();
+            {
+                let mut h = self.health.lock();
+                h.last_committed = zab.last_committed().0;
+                h.syncing = zab
+                    .syncing_peers()
+                    .into_iter()
+                    .map(|p| SyncingPeer {
+                        peer: p.peer.0,
+                        chunks_remaining: p.chunks_remaining,
+                        bytes_remaining: p.bytes_remaining,
+                    })
+                    .collect();
+                h.relay_groups = zab
+                    .relay_topology()
+                    .into_iter()
+                    .map(|(r, members)| (r.0, members.into_iter().map(|m| m.0).collect()))
+                    .collect();
+                h.lag = lags
+                    .iter()
+                    .map(|l| LagEntry {
+                        peer: l.peer.0,
+                        acked_zxid: l.acked.map(|z| z.0),
+                        lag_txns: l.lag_txns,
+                        syncing: l.syncing,
+                    })
+                    .collect();
+            }
+            // Per-follower gauges, outside the health lock. −1 encodes
+            // "unknown" (cross-epoch watermarks / snapshot-pending sync).
+            for l in &lags {
+                let (acked_g, lag_g) = self.lag_gauges.entry(l.peer.0).or_insert_with(|| {
+                    (
+                        self.registry
+                            .gauge(&zab_metrics::peer_metric("core.follower_acked", l.peer.0)),
+                        self.registry
+                            .gauge(&zab_metrics::peer_metric("core.follower_lag", l.peer.0)),
+                    )
+                });
+                acked_g.set(l.acked.map_or(-1, |z| z.0 as i64));
+                lag_g.set(l.lag_txns.map_or(-1, |n| n as i64));
+            }
         } else {
             let mut h = self.health.lock();
             h.syncing.clear();
             h.relay_groups.clear();
+            h.lag.clear();
+        }
+        if self.delivery_hash.version() != self.published_hash_version {
+            self.published_hash_version = self.delivery_hash.version();
+            self.health.lock().delivery = DeliveryState {
+                anchor: self.delivery_hash.anchor().0,
+                last: self.delivery_hash.last().0,
+                hash: self.delivery_hash.hash(),
+                checkpoints: self.delivery_hash.checkpoints().map(|c| (c.zxid.0, c.hash)).collect(),
+            };
         }
         let role = self.current_role();
         let is_primary = matches!(role, Role::Leading { established: true, .. });

@@ -1,0 +1,95 @@
+//! Ensemble scraping: pull `/health` and `/trace` from every node.
+//!
+//! A partial ensemble is still useful — a scrape returns whatever nodes
+//! answered plus the per-node errors, and callers decide how much they
+//! need (status renders what it got; the auditor flags unreachable nodes
+//! but still checks the reachable ones).
+
+use crate::http;
+use crate::model::{parse_raw_trace, NodeHealth};
+use std::time::Duration;
+use zab_trace::TraceEvent;
+
+/// Default per-request timeout.
+pub const SCRAPE_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// One scrape round over the whole ensemble.
+#[derive(Debug)]
+pub struct EnsembleSnapshot {
+    /// Nodes that answered `/health`, in the order scraped.
+    pub nodes: Vec<NodeHealth>,
+    /// Nodes that did not, as `(addr, error)`.
+    pub errors: Vec<(String, String)>,
+}
+
+impl EnsembleSnapshot {
+    /// The leader's health, if an established leader answered.
+    pub fn leader(&self) -> Option<&NodeHealth> {
+        self.nodes.iter().find(|n| n.role == "leading" && n.active)
+    }
+
+    /// The node with server id `id`, if it answered.
+    pub fn node(&self, id: u64) -> Option<&NodeHealth> {
+        self.nodes.iter().find(|n| n.node == id)
+    }
+}
+
+/// Scrapes `/health` from one node.
+pub fn health(addr: &str, timeout: Duration) -> Result<NodeHealth, String> {
+    let resp = http::get(addr, "/health", timeout).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("{addr}: /health returned {}", resp.status));
+    }
+    NodeHealth::parse(addr, &resp.body)
+}
+
+/// Scrapes `/health` from every address. For leader-relative invariants
+/// (follower committed ≤ leader committed) the leader is re-scraped
+/// *after* all followers, so its watermark is at least as fresh as any
+/// follower reading — a follower can then never legitimately appear
+/// ahead of it.
+pub fn ensemble(addrs: &[String], timeout: Duration) -> EnsembleSnapshot {
+    let mut nodes = Vec::new();
+    let mut errors = Vec::new();
+    for addr in addrs {
+        match health(addr, timeout) {
+            Ok(h) => nodes.push(h),
+            Err(e) => errors.push((addr.clone(), e)),
+        }
+    }
+    // Second pass: refresh the leader last so cross-node watermark
+    // comparisons are sound under monotone reads.
+    let leader_addr =
+        nodes.iter().find(|n| n.role == "leading" && n.active).map(|n| n.addr.clone());
+    if let Some(addr) = leader_addr {
+        if let Ok(fresh) = health(&addr, timeout) {
+            if let Some(slot) = nodes.iter_mut().find(|n| n.addr == addr) {
+                *slot = fresh;
+            }
+        }
+    }
+    EnsembleSnapshot { nodes, errors }
+}
+
+/// Scrapes raw trace events from every address that answers, tagging
+/// nothing — events already carry their recording node id. Unreachable
+/// nodes are reported in the error list.
+pub fn traces(addrs: &[String], timeout: Duration) -> (Vec<TraceEvent>, Vec<(String, String)>) {
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for addr in addrs {
+        let result = http::get(addr, "/trace?format=raw", timeout)
+            .map_err(|e| e.to_string())
+            .and_then(|resp| {
+                if resp.status != 200 {
+                    return Err(format!("{addr}: /trace returned {}", resp.status));
+                }
+                parse_raw_trace(addr, &resp.body)
+            });
+        match result {
+            Ok(mut ev) => events.append(&mut ev),
+            Err(e) => errors.push((addr.clone(), e)),
+        }
+    }
+    (events, errors)
+}
